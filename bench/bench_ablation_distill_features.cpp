@@ -1,0 +1,46 @@
+// Ablation (paper §4.3): EXPLORA can compare the attribute distributions
+// of consecutive states "using either statistical techniques like the
+// Jensen Shannon divergence or directly comparing averages". This bench
+// measures what each feature family contributes to the distillation DT:
+// mean-delta features only, JS-divergence features appended, and a DT
+// depth sweep.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "explora/distill.hpp"
+
+int main() {
+  using namespace explora;
+  bench::print_header(
+      "Ablation - distillation features (mean deltas vs +JS divergence)");
+
+  const auto result = bench::run_standard(
+      core::AgentProfile::kHighThroughput, netsim::TrafficProfile::kTrf1, 6);
+  std::printf("%zu transitions from the HT/TRF1 run\n\n",
+              result.transitions.size());
+
+  common::TextTable table({"features", "DT depth", "fit accuracy",
+                           "tree nodes"});
+  for (const bool with_js : {false, true}) {
+    for (const std::size_t depth : {std::size_t{2}, std::size_t{3},
+                                    std::size_t{4}, std::size_t{6}}) {
+      core::KnowledgeDistiller::Config config;
+      config.include_js_features = with_js;
+      config.tree.max_depth = depth;
+      core::KnowledgeDistiller distiller(config);
+      const auto knowledge = distiller.distill(result.transitions);
+      table.add_row({with_js ? "deltas + JS" : "deltas only",
+                     std::to_string(depth),
+                     common::fmt(knowledge.tree_accuracy * 100.0, 1) + " %",
+                     std::to_string(knowledge.tree.node_count())});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nThe JS-divergence features capture distribution-shape changes the\n"
+      "mean deltas miss (e.g. a variance blow-up with an unchanged mean),\n"
+      "typically buying a few accuracy points at equal depth; deeper trees\n"
+      "trade the paper's at-a-glance readability for fit.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation (paper §4.4): Opt 1 "intent-based action steering" vs Opt 2
+// "action shielding". The paper argues steering is more attractive for
+// non-stationary RAN control because it substitutes actions *consciously*
+// (only when the graph knows a better alternative), while a shield
+// inhibits actions unconditionally. This bench quantifies that argument on
+// the HT agent: a shield enforcing "eMBB gets at least 30 PRBs" against
+// AR1 steering with the same high-level goal.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "explora/shield.hpp"
+
+namespace {
+
+using namespace explora;
+
+harness::ExperimentResult run_variant(
+    const harness::TrainedSystem& system,
+    const netsim::ScenarioConfig& scenario, bool steer, bool shield) {
+  harness::ExperimentOptions options;
+  options.decisions = bench::bench_decisions();
+  options.prb_temperature = 0.8;  // imperfect-policy regime (cf. Fig. 10)
+  if (steer) {
+    core::ActionSteering::Config steering;
+    steering.strategy = core::SteeringStrategy::kMaxReward;
+    steering.observation_window = 10;
+    options.steering = steering;
+  }
+  // NOTE: the shield variant is wired through the harness by attaching it
+  // to the EXPLORA xApp config via run_experiment's options; the harness
+  // keeps the shield optional, so we re-run the pipeline manually here
+  // when a shield is requested.
+  if (!shield) {
+    return harness::run_experiment(system, scenario, options,
+                                   bench::bench_training());
+  }
+  // Shield run: same pipeline, shield installed in the xApp.
+  // Fallback: a compliant mid-catalogue action.
+  netsim::SlicingControl fallback;
+  fallback.prbs = {36, 3, 11};
+  fallback.scheduling = {netsim::SchedulerPolicy::kWaterfilling,
+                         netsim::SchedulerPolicy::kRoundRobin,
+                         netsim::SchedulerPolicy::kRoundRobin};
+  core::ActionShield action_shield(fallback);
+  action_shield.add_rule(
+      core::ActionShield::min_prbs_rule(netsim::Slice::kEmbb, 30));
+  options.shield = std::move(action_shield);
+  return harness::run_experiment(system, scenario, options,
+                                 bench::bench_training());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation - action steering (Opt 1) vs action shielding (Opt 2)");
+
+  const auto& system =
+      bench::trained_system(core::AgentProfile::kHighThroughput);
+  const auto scenario =
+      bench::paper_scenario(netsim::TrafficProfile::kTrf1, 6);
+
+  const auto baseline = run_variant(system, scenario, false, false);
+  const auto steered = run_variant(system, scenario, true, false);
+  const auto shielded = run_variant(system, scenario, false, true);
+
+  common::TextTable table({"variant", "mean reward",
+                           "eMBB bitrate median [Mbps]",
+                           "eMBB bitrate p10 [Mbps]", "actions changed",
+                           "distinct actions used"});
+  auto distinct_actions = [](const harness::ExperimentResult& result) {
+    return result.graph.node_count();
+  };
+  auto add_row = [&](const std::string& name,
+                     const harness::ExperimentResult& result) {
+    table.add_row({name, common::fmt(result.mean_reward(), 3),
+                   common::fmt(common::median(result.embb_bitrate_mbps), 3),
+                   common::fmt(common::quantile(result.embb_bitrate_mbps,
+                                                0.1), 3),
+                   std::to_string(result.controls_replaced),
+                   std::to_string(distinct_actions(result))});
+  };
+  add_row("baseline", baseline);
+  add_row("AR1 steering", steered);
+  add_row("shield (eMBB >= 30 PRBs)", shielded);
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected shape (paper §4.4 + Appendix D): both mechanisms lift the\n"
+      "lower tail, but the shield collapses the action space (far fewer\n"
+      "distinct actions survive) while steering preserves the agent's\n"
+      "ability to probe actions - it substitutes conditionally, based on\n"
+      "expected reward, instead of banning outright.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces Fig. 3: SHAP relevance scores of the DRL inputs (the
+// autoencoder latents AE_0..AE_8) for 20 consecutive decision steps of the
+// HT agent, next to the actions taken. As in the paper, the explanations
+// are per-latent-feature relevances — precise but non-intuitive, since the
+// latents are not the actual KPIs (Challenge 1).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "ml/ppo.hpp"
+#include "xai/shap.hpp"
+
+namespace {
+
+using namespace explora;
+
+/// Model under explanation: latent -> probability of the chosen component
+/// of each action head (4 outputs: PRB split + 3 schedulers).
+xai::ModelFn head_probability_model(const ml::PpoAgent& agent,
+                                    const ml::AgentAction& chosen) {
+  return [&agent, chosen](const xai::Vector& latent) {
+    const auto heads = agent.head_distributions(latent);
+    return xai::Vector{
+        heads[0][chosen.prb_choice],
+        heads[1][chosen.sched_choice[0]],
+        heads[2][chosen.sched_choice[1]],
+        heads[3][chosen.sched_choice[2]],
+    };
+  };
+}
+
+/// 0-9 digit encoding of a relevance magnitude (the paper's color bar).
+char relevance_glyph(double value, double max_abs) {
+  if (max_abs <= 0.0) return '0';
+  const int level = static_cast<int>(
+      std::round(std::abs(value) / max_abs * 9.0));
+  return static_cast<char>('0' + std::min(level, 9));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 3 - SHAP explanations of the HT agent over 20 time steps");
+
+  const auto& system = bench::trained_system(core::AgentProfile::kHighThroughput);
+  const auto result = bench::run_standard(
+      core::AgentProfile::kHighThroughput, netsim::TrafficProfile::kTrf1, 6);
+
+  // Background: the latents visited during the run.
+  std::vector<xai::Vector> background;
+  for (const auto& record : result.decisions) {
+    background.push_back(record.latent);
+  }
+  if (background.size() < 40) {
+    std::fprintf(stderr, "run too short for Fig. 3\n");
+    return 1;
+  }
+
+  // Explain 20 consecutive steps mid-run (the paper shows indices ~565-584).
+  const std::size_t start = background.size() / 2;
+  std::printf(
+      "Per-step SHAP relevance of the 9 latent features (0 = irrelevant,"
+      " 9 = dominant),\naggregated over the 4 action modes."
+      " The agent action is shown per step.\n\n");
+  common::TextTable table({"step", "AE relevance [0..8]", "PRB split",
+                           "schedulers", "sum|phi|"});
+  for (std::size_t step = start; step < start + 20; ++step) {
+    const auto& record = result.decisions[step];
+    const ml::AgentAction action = ml::from_control(record.enforced);
+    xai::ShapExplainer::Config config;
+    config.max_background = 16;
+    xai::ShapExplainer explainer(
+        head_probability_model(*system.agent, action), background, config);
+    const auto phi = explainer.explain_all_outputs(record.latent);
+
+    // Aggregate |phi| over the four outputs per latent feature.
+    xai::Vector relevance(ml::kLatentDim, 0.0);
+    for (const auto& per_output : phi) {
+      for (std::size_t f = 0; f < relevance.size(); ++f) {
+        relevance[f] += std::abs(per_output[f]);
+      }
+    }
+    double max_abs = 0.0;
+    double total = 0.0;
+    for (double r : relevance) {
+      max_abs = std::max(max_abs, r);
+      total += r;
+    }
+    std::string bar;
+    for (double r : relevance) bar += relevance_glyph(r, max_abs);
+
+    table.add_row({std::to_string(step), bar,
+                   common::format("[{}, {}, {}]", record.enforced.prbs[0],
+                                  record.enforced.prbs[1],
+                                  record.enforced.prbs[2]),
+                   common::format("[{}, {}, {}]",
+                                  static_cast<int>(record.enforced.scheduling[0]),
+                                  static_cast<int>(record.enforced.scheduling[1]),
+                                  static_cast<int>(record.enforced.scheduling[2])),
+                   common::fmt(total, 4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nObservation (as in the paper): relevance concentrates on a few\n"
+      "latents and shifts when the action changes; steps where all latents\n"
+      "are low-relevance precede scheduling-policy changes. The scores\n"
+      "explain the *latent* inputs, not the user-level KPIs - the\n"
+      "limitation EXPLORA addresses.\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+// Reproduces Fig. 4 and the §6.2 latency claim: the computational cost of
+// SHAP explanations (a) across user counts and (b) across agents, against
+// EXPLORA's explanation-synthesis time. The paper reports SHAP taking
+// hours on GPUs vs EXPLORA's ~2.3 s (a 40695x speedup); on this CPU
+// simulator the absolute numbers differ but the orders-of-magnitude gap is
+// the reproduced shape.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "explora/distill.hpp"
+#include "xai/lime.hpp"
+#include "xai/shap.hpp"
+
+namespace {
+
+using namespace explora;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Average per-sample wall time of exact SHAP over `probe_count` samples.
+struct ShapCost {
+  double per_sample_seconds = 0.0;
+  double full_experiment_seconds = 0.0;  ///< extrapolated to every decision
+  std::uint64_t model_evaluations = 0;
+};
+
+ShapCost measure_shap(const harness::TrainedSystem& system,
+                      const harness::ExperimentResult& result,
+                      std::size_t probe_count) {
+  std::vector<xai::Vector> background;
+  for (const auto& record : result.decisions) {
+    background.push_back(record.latent);
+  }
+  xai::ShapExplainer::Config config;
+  config.max_background = 16;
+
+  const auto start = Clock::now();
+  std::uint64_t evals = 0;
+  const std::size_t stride = std::max<std::size_t>(
+      1, result.decisions.size() / probe_count);
+  std::size_t probed = 0;
+  for (std::size_t i = 0; i < result.decisions.size() && probed < probe_count;
+       i += stride, ++probed) {
+    const auto& record = result.decisions[i];
+    const ml::AgentAction action = ml::from_control(record.enforced);
+    xai::ShapExplainer explainer(
+        [&system, action](const xai::Vector& latent) {
+          const auto heads = system.agent->head_distributions(latent);
+          return xai::Vector{heads[0][action.prb_choice],
+                             heads[1][action.sched_choice[0]],
+                             heads[2][action.sched_choice[1]],
+                             heads[3][action.sched_choice[2]]};
+        },
+        background, config);
+    (void)explainer.explain_all_outputs(record.latent);
+    evals += explainer.model_evaluations();
+  }
+  ShapCost cost;
+  cost.per_sample_seconds =
+      seconds_since(start) / static_cast<double>(probed);
+  cost.full_experiment_seconds =
+      cost.per_sample_seconds * static_cast<double>(result.decisions.size());
+  cost.model_evaluations = evals / probed;
+  return cost;
+}
+
+/// EXPLORA's explanation-synthesis time: distilling the DT + summaries from
+/// the already-built graph/transition trace (what §6.2 times at ~2.3 s).
+double measure_explora_seconds(const harness::ExperimentResult& result) {
+  const auto start = Clock::now();
+  core::KnowledgeDistiller distiller;
+  const auto knowledge = distiller.distill(result.transitions);
+  (void)knowledge;
+  return seconds_since(start);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 4 - SHAP computational cost vs EXPLORA");
+
+  const std::size_t probes = 8;
+
+  // ---- (a) cost across user counts, HT agent --------------------------
+  std::printf("(a) per-user-count cost, HT agent, TRF1\n");
+  common::TextTable table_a({"users", "SHAP s/sample", "SHAP full run [s]",
+                             "model evals/sample", "EXPLORA [s]",
+                             "speedup"});
+  for (std::uint32_t users : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const auto result = bench::run_standard(
+        core::AgentProfile::kHighThroughput, netsim::TrafficProfile::kTrf1,
+        users);
+    const ShapCost shap = measure_shap(
+        bench::trained_system(core::AgentProfile::kHighThroughput), result,
+        probes);
+    const double explora_seconds = measure_explora_seconds(result);
+    table_a.add_row(
+        {std::to_string(users), common::fmt(shap.per_sample_seconds, 4),
+         common::fmt(shap.full_experiment_seconds, 1),
+         std::to_string(shap.model_evaluations),
+         common::fmt(explora_seconds, 4),
+         common::fmt(shap.full_experiment_seconds /
+                         std::max(explora_seconds, 1e-9), 0) + "x"});
+  }
+  std::fputs(table_a.render().c_str(), stdout);
+
+  // ---- (b) cost across agents ------------------------------------------
+  std::printf("\n(b) per-agent cost, 6 users, TRF1\n");
+  common::TextTable table_b({"agent", "SHAP full run [s]", "EXPLORA [s]",
+                             "speedup"});
+  for (const auto profile : {core::AgentProfile::kHighThroughput,
+                             core::AgentProfile::kLowLatency}) {
+    const auto result = bench::run_standard(
+        profile, netsim::TrafficProfile::kTrf1, 6);
+    const ShapCost shap =
+        measure_shap(bench::trained_system(profile), result, probes);
+    const double explora_seconds = measure_explora_seconds(result);
+    table_b.add_row(
+        {core::to_string(profile),
+         common::fmt(shap.full_experiment_seconds, 1),
+         common::fmt(explora_seconds, 4),
+         common::fmt(shap.full_experiment_seconds /
+                         std::max(explora_seconds, 1e-9), 0) + "x"});
+  }
+  std::fputs(table_b.render().c_str(), stdout);
+
+  // ---- (c) the other model-agnostic baselines: sampling SHAP, LIME -------
+  {
+    std::printf("\n(c) per-sample cost of the XAI baselines, HT, 6 users\n");
+    const auto result = bench::run_standard(
+        core::AgentProfile::kHighThroughput, netsim::TrafficProfile::kTrf1,
+        6);
+    const auto& system =
+        bench::trained_system(core::AgentProfile::kHighThroughput);
+    const auto& record = result.decisions[result.decisions.size() / 2];
+    const ml::AgentAction action = ml::from_control(record.enforced);
+    auto model = [&system, action](const xai::Vector& latent) {
+      const auto heads = system.agent->head_distributions(latent);
+      return xai::Vector{heads[0][action.prb_choice],
+                         heads[1][action.sched_choice[0]],
+                         heads[2][action.sched_choice[1]],
+                         heads[3][action.sched_choice[2]]};
+    };
+    std::vector<xai::Vector> background;
+    for (const auto& d : result.decisions) background.push_back(d.latent);
+
+    common::TextTable table_c({"method", "s/sample", "model evals/sample",
+                               "note"});
+    {
+      xai::ShapExplainer::Config config;
+      config.max_background = 16;
+      xai::ShapExplainer shap(model, background, config);
+      const auto start = Clock::now();
+      (void)shap.explain_all_outputs(record.latent);
+      table_c.add_row({"SHAP (exact)", common::fmt(seconds_since(start), 4),
+                       std::to_string(shap.model_evaluations()),
+                       "Eq. (2), 2^9 coalitions"});
+    }
+    {
+      xai::ShapExplainer::Config config;
+      config.mode = xai::ShapExplainer::Mode::kSampling;
+      config.permutations = 64;
+      config.max_background = 16;
+      xai::ShapExplainer shap(model, background, config);
+      const auto start = Clock::now();
+      (void)shap.explain_all_outputs(record.latent);
+      table_c.add_row({"SHAP (sampling)",
+                       common::fmt(seconds_since(start), 4),
+                       std::to_string(shap.model_evaluations()),
+                       "64 permutations"});
+    }
+    {
+      xai::LimeExplainer lime(model);
+      const auto start = Clock::now();
+      (void)lime.explain(record.latent, 0);
+      table_c.add_row({"LIME", common::fmt(seconds_since(start), 4),
+                       std::to_string(lime.model_evaluations()),
+                       common::format("surrogate R^2 {:.2f}",
+                                      lime.last_fit_r2())});
+    }
+    {
+      const auto start = Clock::now();
+      (void)core::KnowledgeDistiller{}.distill(result.transitions);
+      table_c.add_row({"EXPLORA", common::fmt(seconds_since(start), 4), "0",
+                       "explains the whole run, not one sample"});
+    }
+    std::fputs(table_c.render().c_str(), stdout);
+  }
+
+  std::printf(
+      "\nShape to compare with the paper: SHAP needs ~2^N x |background|\n"
+      "model evaluations per explained sample (hours over a full run,\n"
+      "roughly constant in the user count beyond 4 users), while EXPLORA\n"
+      "synthesizes its explanations from the attributed graph in well under\n"
+      "a second - a 3-5 orders-of-magnitude gap (paper: 40695x).\n");
+  return 0;
+}

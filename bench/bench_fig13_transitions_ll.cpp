@@ -1,0 +1,63 @@
+// Reproduces Appendix C (Fig. 13, Fig. 14, Table 4): the LL agent's
+// transition scatter, its explanation DT, the Table-4 summary, and the
+// HT-vs-LL class-share comparison (the paper: HT mainly uses Same-PRB
+// ~40%, LL uses its classes more evenly and transitions more often).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "explora/distill.hpp"
+
+int main() {
+  using namespace explora;
+  bench::print_header(
+      "Fig. 13/14 + Table 4 - LL agent explanations, TRF1");
+
+  const auto ll_result = bench::run_standard(
+      core::AgentProfile::kLowLatency, netsim::TrafficProfile::kTrf1, 6);
+  const auto ht_result = bench::run_standard(
+      core::AgentProfile::kHighThroughput, netsim::TrafficProfile::kTrf1, 6);
+
+  // ---- Fig. 13: scatter --------------------------------------------------
+  std::fputs(bench::transition_scatter(ll_result.transitions,
+                                       netsim::Kpi::kTxBitrate,
+                                       netsim::Kpi::kBufferSize)
+                 .c_str(),
+             stdout);
+  std::printf("\n");
+  std::fputs(bench::transition_scatter(ll_result.transitions,
+                                       netsim::Kpi::kTxPackets,
+                                       netsim::Kpi::kBufferSize)
+                 .c_str(),
+             stdout);
+
+  // ---- Fig. 14 + Table 4: DT and summary ---------------------------------
+  core::KnowledgeDistiller distiller;
+  const auto knowledge = distiller.distill(ll_result.transitions);
+  std::printf("\nDT on EXPLORA explanations for the LL agent (fit accuracy "
+              "%.1f%%):\n\n",
+              knowledge.tree_accuracy * 100.0);
+  std::fputs(knowledge.rules.c_str(), stdout);
+  std::printf("\nTable 4 - summary of explanations for the LL agent:\n");
+  std::fputs(knowledge.summary_text.c_str(), stdout);
+
+  // ---- class-share comparison (Appendix C bullet 3) ----------------------
+  std::printf("\nClass shares, HT vs LL (paper: HT favours Same-PRB ~40%%;"
+              " LL uses the classes more evenly):\n");
+  std::printf("HT:\n%s", bench::class_share_table(ht_result.transitions).c_str());
+  std::printf("LL:\n%s", bench::class_share_table(ll_result.transitions).c_str());
+
+  // Transition rate comparison (Appendix C: LL transitions more).
+  auto non_self_share = [](const std::vector<core::TransitionEvent>& events) {
+    if (events.empty()) return 0.0;
+    std::size_t moving = 0;
+    for (const auto& event : events) {
+      if (event.cls != core::TransitionClass::kSelf) ++moving;
+    }
+    return static_cast<double>(moving) / static_cast<double>(events.size());
+  };
+  std::printf("\nnon-Self transition share: HT %.1f%%, LL %.1f%%\n",
+              non_self_share(ht_result.transitions) * 100.0,
+              non_self_share(ll_result.transitions) * 100.0);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces Appendix D (Fig. 15): across all AR 1 steering settings
+// (HT/LL agents x TRF1/TRF2 x O in {10, 20}), how often the attributed
+// graph *suggests* replacing an action vs how often the action is
+// *actually* replaced — and that the same action is rarely substituted
+// more than 3 times (steering is not shielding).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace explora;
+  bench::print_header(
+      "Fig. 15 - suggested vs actual action replacements (AR1)");
+
+  common::TextTable table({"agent", "traffic", "O", "decisions", "suggested",
+                           "replaced", "replaced/suggested",
+                           "median same-action repl.",
+                           "max same-action repl."});
+
+  std::vector<double> suggestion_rates_o10;
+  std::vector<double> suggestion_rates_o20;
+  std::vector<double> usage_drop_o10;
+  std::vector<double> usage_drop_o20;
+
+  for (const auto profile : {core::AgentProfile::kHighThroughput,
+                             core::AgentProfile::kLowLatency}) {
+    for (const auto traffic :
+         {netsim::TrafficProfile::kTrf1, netsim::TrafficProfile::kTrf2}) {
+      for (const std::size_t window : {std::size_t{10}, std::size_t{20}}) {
+        const auto run = bench::run_steered(
+            profile, traffic, core::SteeringStrategy::kMaxReward, window);
+        if (!run.steering.has_value()) continue;
+        const auto& stats = *run.steering;
+        const double ratio =
+            stats.suggestions == 0
+                ? 0.0
+                : static_cast<double>(stats.replacements) /
+                      static_cast<double>(stats.suggestions);
+        std::uint64_t max_per_action = 0;
+        std::vector<double> per_action;
+        for (std::uint64_t count : stats.per_action_replaced_out) {
+          max_per_action = std::max(max_per_action, count);
+          per_action.push_back(static_cast<double>(count));
+        }
+        table.add_row({core::to_string(profile), to_string(traffic),
+                       std::to_string(window),
+                       std::to_string(stats.decisions),
+                       std::to_string(stats.suggestions),
+                       std::to_string(stats.replacements),
+                       common::fmt(ratio * 100.0, 1) + " %",
+                       common::fmt(common::median(per_action), 1),
+                       std::to_string(max_per_action)});
+
+        const double suggestion_rate =
+            stats.decisions == 0
+                ? 0.0
+                : static_cast<double>(stats.suggestions) /
+                      static_cast<double>(stats.decisions);
+        (window == 10 ? suggestion_rates_o10 : suggestion_rates_o20)
+            .push_back(suggestion_rate);
+        (window == 10 ? usage_drop_o10 : usage_drop_o20)
+            .push_back(1.0 - ratio);
+      }
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nAcross configurations (paper: O=10 triggers slightly more changes\n"
+      "than O=20 - 63%% vs 59%% on average - and the suggested-to-used\n"
+      "reduction is 25%% for O=10 vs 18%% for O=20):\n");
+  std::printf("  median suggestion rate: O=10 %.1f%%, O=20 %.1f%%\n",
+              common::median(suggestion_rates_o10) * 100.0,
+              common::median(suggestion_rates_o20) * 100.0);
+  std::printf("  median suggested-but-not-used: O=10 %.1f%%, O=20 %.1f%%\n",
+              common::median(usage_drop_o10) * 100.0,
+              common::median(usage_drop_o20) * 100.0);
+  return 0;
+}

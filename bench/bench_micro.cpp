@@ -1,0 +1,209 @@
+// google-benchmark microbenchmarks for the hot paths: the near-real-time
+// budget of the RIC (10 ms - 1 s loops) is the paper's "lightweight for
+// real-time operation" claim — these benches quantify every per-decision
+// cost EXPLORA adds.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "explora/distill.hpp"
+#include "explora/edbr.hpp"
+#include "explora/graph.hpp"
+#include "explora/transitions.hpp"
+#include "ml/autoencoder.hpp"
+#include "ml/ppo.hpp"
+#include "netsim/scenario.hpp"
+#include "oran/rmr.hpp"
+#include "xai/shap.hpp"
+#include "xai/tree.hpp"
+
+namespace {
+
+using namespace explora;
+
+netsim::KpiReport sample_report(common::Rng& rng) {
+  netsim::KpiReport report;
+  for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
+    report.slices[s].tx_bitrate_mbps = {rng.uniform(0.0, 8.0)};
+    report.slices[s].tx_packets = {rng.uniform(0.0, 300.0)};
+    report.slices[s].buffer_bytes = {rng.uniform(0.0, 1e6)};
+  }
+  return report;
+}
+
+netsim::SlicingControl random_control(common::Rng& rng) {
+  const auto& catalog = netsim::prb_catalog();
+  netsim::SlicingControl control;
+  control.prbs = catalog[rng.index(catalog.size())];
+  for (auto& policy : control.scheduling) {
+    policy = static_cast<netsim::SchedulerPolicy>(rng.index(3));
+  }
+  return control;
+}
+
+// ---- EXPLORA graph maintenance (per decision period) ----------------------
+
+void BM_GraphBeginAction(benchmark::State& state) {
+  common::Rng rng(1);
+  core::AttributedGraph graph;
+  for (auto _ : state) {
+    graph.begin_action(random_control(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GraphBeginAction);
+
+void BM_GraphRecordConsequence(benchmark::State& state) {
+  common::Rng rng(2);
+  core::AttributedGraph graph;
+  graph.begin_action(random_control(rng));
+  const auto report = sample_report(rng);
+  for (auto _ : state) {
+    graph.record_consequence(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GraphRecordConsequence);
+
+void BM_SteeringDecision(benchmark::State& state) {
+  common::Rng rng(3);
+  core::AttributedGraph graph;
+  // Populate a realistic graph: 64 actions, 500 transitions with samples.
+  std::vector<netsim::SlicingControl> actions;
+  for (int i = 0; i < 64; ++i) actions.push_back(random_control(rng));
+  for (int i = 0; i < 500; ++i) {
+    graph.begin_action(actions[rng.index(actions.size())]);
+    graph.record_consequence(sample_report(rng));
+  }
+  core::ActionSteering steering(
+      graph, core::RewardModel(core::RewardWeights::high_throughput()),
+      {.strategy = core::SteeringStrategy::kMaxReward,
+       .observation_window = 10});
+  for (int i = 0; i < 10; ++i) steering.push_measured_reward(rng.uniform());
+  const auto prev = actions[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        steering.steer(actions[rng.index(actions.size())], prev));
+  }
+}
+BENCHMARK(BM_SteeringDecision);
+
+// ---- explanation synthesis (the paper's 2.3 s figure) ---------------------
+
+void BM_KnowledgeDistillation(benchmark::State& state) {
+  common::Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<core::TransitionEvent> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::TransitionEvent event;
+    event.cls = static_cast<core::TransitionClass>(rng.index(4));
+    event.delta.resize(core::kNumAttributes);
+    event.js_divergence.resize(core::kNumAttributes);
+    for (auto& d : event.delta) d = rng.normal(0.0, 1.0);
+    for (auto& j : event.js_divergence) j = rng.uniform();
+    events.push_back(std::move(event));
+  }
+  core::KnowledgeDistiller distiller;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distiller.distill(events));
+  }
+}
+BENCHMARK(BM_KnowledgeDistillation)->Arg(256)->Arg(1024)->Arg(4096);
+
+// ---- the SHAP counterpoint ------------------------------------------------
+
+void BM_ShapExactPerSample(benchmark::State& state) {
+  const auto features = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(5);
+  std::vector<xai::Vector> background;
+  for (int i = 0; i < 16; ++i) {
+    xai::Vector row(features);
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+    background.push_back(std::move(row));
+  }
+  xai::ShapExplainer explainer(
+      [](const xai::Vector& x) {
+        double sum = 0.0;
+        for (double v : x) sum += v * v;
+        return xai::Vector{sum};
+      },
+      background);
+  const xai::Vector probe(features, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.explain_all_outputs(probe));
+  }
+}
+BENCHMARK(BM_ShapExactPerSample)->Arg(5)->Arg(9)->Arg(12);
+
+// ---- substrate hot paths ---------------------------------------------------
+
+void BM_GnbReportWindow(benchmark::State& state) {
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {2, 2, 2};
+  auto gnb = netsim::make_gnb(scenario);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gnb->run_report_window());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 25);
+}
+BENCHMARK(BM_GnbReportWindow);
+
+void BM_AutoencoderEncode(benchmark::State& state) {
+  ml::Autoencoder autoencoder;
+  const ml::Vector input(ml::kInputDim, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(autoencoder.encode(input));
+  }
+}
+BENCHMARK(BM_AutoencoderEncode);
+
+void BM_PpoActGreedy(benchmark::State& state) {
+  ml::PpoAgent agent(7);
+  const ml::Vector latent(ml::kLatentDim, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act_greedy(latent));
+  }
+}
+BENCHMARK(BM_PpoActGreedy);
+
+void BM_RmrRoundTrip(benchmark::State& state) {
+  class Sink final : public oran::RmrEndpoint {
+   public:
+    std::string_view endpoint_name() const noexcept override {
+      return "sink";
+    }
+    void on_message(const oran::RicMessage&) override {}
+  };
+  oran::RmrRouter router;
+  Sink sink;
+  router.register_endpoint(sink);
+  router.add_route(oran::MessageType::kRanControl, "*", "sink");
+  common::Rng rng(8);
+  const auto control = random_control(rng);
+  for (auto _ : state) {
+    router.send(oran::make_ran_control("bench", control, 1));
+  }
+}
+BENCHMARK(BM_RmrRoundTrip);
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  common::Rng rng(9);
+  xai::Dataset data;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    xai::Vector row(9);
+    for (auto& v : row) v = rng.normal(0.0, 1.0);
+    data.labels.push_back(row[0] > 0 ? (row[1] > 0 ? 0u : 1u)
+                                     : (row[2] > 0 ? 2u : 3u));
+    data.features.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    xai::DecisionTreeClassifier tree;
+    tree.fit(data, 4);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Explaining both of the paper's agents: trains/loads the HT and LL
+// systems, runs each under EXPLORA observation, and prints the distilled
+// knowledge — the decision tree over the explanations (Fig. 8/14) and the
+// human-readable Table-2/4 style summaries — side by side.
+//
+// Build & run:  ./build/examples/explain_agent
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "explora/distill.hpp"
+#include "harness/experiment.hpp"
+#include "harness/training.hpp"
+
+namespace {
+
+using namespace explora;
+
+void explain_profile(core::AgentProfile profile) {
+  netsim::ScenarioConfig scenario;
+  scenario.profile = netsim::TrafficProfile::kTrf1;
+  scenario.users_per_slice = netsim::users_for_count(6);
+  scenario.seed = 42;
+
+  harness::TrainingConfig training;
+  const harness::TrainedSystem system =
+      harness::load_or_train(profile, scenario, training);
+
+  harness::ExperimentOptions options;
+  options.decisions = 720;
+  options.prb_temperature =
+      profile == core::AgentProfile::kLowLatency ? 0.6 : 0.35;
+  const harness::ExperimentResult result =
+      harness::run_experiment(system, scenario, options, training);
+
+  std::printf("\n================ %s agent ================\n",
+              core::to_string(profile).c_str());
+  std::printf("graph: %zu nodes, %zu edges, %llu transitions\n",
+              result.graph.node_count(), result.graph.edge_count(),
+              static_cast<unsigned long long>(
+                  result.graph.total_transitions()));
+
+  core::KnowledgeDistiller distiller;
+  const core::DistilledKnowledge knowledge =
+      distiller.distill(result.transitions);
+  std::printf("\ndecision tree over the explanations (fit accuracy "
+              "%.1f%%):\n\n",
+              knowledge.tree_accuracy * 100.0);
+  std::fputs(knowledge.rules.c_str(), stdout);
+  std::puts("");
+  std::fputs(knowledge.summary_text.c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  common::set_log_level(common::LogLevel::kWarn);
+  explain_profile(core::AgentProfile::kHighThroughput);
+  explain_profile(core::AgentProfile::kLowLatency);
+  std::puts(
+      "\nThe HT agent concentrates on eMBB-heavy slicing profiles and works"
+      "\nmostly through Same-PRB transitions; the LL agent transitions more"
+      "\nand spreads across the classes (paper, Table 2 vs Table 4).");
+  return 0;
+}

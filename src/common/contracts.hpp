@@ -1,0 +1,35 @@
+// Lightweight contract checking (Core Guidelines I.6/I.8 style).
+//
+// EXPLORA_EXPECTS / EXPLORA_ENSURES abort with a diagnostic on violation.
+// They are active in all build types: the library is a research artifact
+// where silent state corruption is far worse than a crash.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace explora::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[explora] %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace explora::detail
+
+#define EXPLORA_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::explora::detail::contract_failure("precondition", #cond,      \
+                                                __FILE__, __LINE__))
+
+#define EXPLORA_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::explora::detail::contract_failure("postcondition", #cond,     \
+                                                __FILE__, __LINE__))
+
+#define EXPLORA_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::explora::detail::contract_failure("invariant", #cond,         \
+                                                __FILE__, __LINE__))

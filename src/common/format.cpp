@@ -1,0 +1,170 @@
+#include "common/format.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace explora::common {
+
+namespace {
+
+[[nodiscard]] std::string pad(std::string body, const FormatSpec& spec,
+                              char default_align) {
+  const auto width = static_cast<std::size_t>(spec.width);
+  if (body.size() >= width) return body;
+  const char align = spec.align != '\0' ? spec.align : default_align;
+  const std::size_t padding = width - body.size();
+  if (align == '<') return body + std::string(padding, spec.fill);
+  return std::string(padding, spec.fill) + body;
+}
+
+[[nodiscard]] std::string format_double(const FormatSpec& spec, double value) {
+  char printf_spec[16];
+  const int precision = spec.precision >= 0 ? spec.precision : 6;
+  const char type = spec.type != '\0' ? spec.type : 'g';
+  std::snprintf(printf_spec, sizeof printf_spec, "%%%s.%d%c",
+                spec.plus ? "+" : "", precision, type);
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, printf_spec, value);
+  return pad(buffer, spec, '>');
+}
+
+}  // namespace
+
+FormatSpec parse_format_spec(std::string_view spec) {
+  FormatSpec out;
+  std::size_t i = 0;
+  // [[fill]align]
+  if (spec.size() >= 2 && (spec[1] == '<' || spec[1] == '>')) {
+    out.fill = spec[0];
+    out.align = spec[1];
+    i = 2;
+  } else if (!spec.empty() && (spec[0] == '<' || spec[0] == '>')) {
+    out.align = spec[0];
+    i = 1;
+  }
+  if (i < spec.size() && spec[i] == '+') {
+    out.plus = true;
+    ++i;
+  }
+  while (i < spec.size() && std::isdigit(static_cast<unsigned char>(spec[i]))) {
+    out.width = out.width * 10 + (spec[i] - '0');
+    ++i;
+  }
+  if (i < spec.size() && spec[i] == '.') {
+    ++i;
+    out.precision = 0;
+    while (i < spec.size() &&
+           std::isdigit(static_cast<unsigned char>(spec[i]))) {
+      out.precision = out.precision * 10 + (spec[i] - '0');
+      ++i;
+    }
+  }
+  if (i < spec.size()) {
+    out.type = spec[i];
+    ++i;
+  }
+  constexpr std::string_view kAllowedTypes = "fegdxs";
+  if (i != spec.size() ||
+      (out.type != '\0' &&
+       kAllowedTypes.find(out.type) == std::string_view::npos)) {
+    throw std::invalid_argument("unsupported format spec: " +
+                                std::string(spec));
+  }
+  return out;
+}
+
+std::string format_value(const FormatSpec& spec, double value) {
+  return format_double(spec, value);
+}
+
+std::string format_value(const FormatSpec& spec, float value) {
+  return format_double(spec, static_cast<double>(value));
+}
+
+std::string format_value(const FormatSpec& spec, long long value) {
+  if (spec.type == 'f' || spec.type == 'e' || spec.type == 'g') {
+    return format_double(spec, static_cast<double>(value));
+  }
+  char buffer[32];
+  if (spec.type == 'x') {
+    std::snprintf(buffer, sizeof buffer, "%llx", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, spec.plus ? "%+lld" : "%lld", value);
+  }
+  return pad(buffer, spec, '>');
+}
+
+std::string format_value(const FormatSpec& spec, unsigned long long value) {
+  if (spec.type == 'f' || spec.type == 'e' || spec.type == 'g') {
+    return format_double(spec, static_cast<double>(value));
+  }
+  char buffer[32];
+  if (spec.type == 'x') {
+    std::snprintf(buffer, sizeof buffer, "%llx", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%llu", value);
+  }
+  return pad(buffer, spec, '>');
+}
+
+std::string format_value(const FormatSpec& spec, bool value) {
+  return pad(value ? "true" : "false", spec, '<');
+}
+
+std::string format_value(const FormatSpec& spec, std::string_view value) {
+  std::string body(value);
+  if (spec.precision >= 0 &&
+      body.size() > static_cast<std::size_t>(spec.precision)) {
+    body.resize(static_cast<std::size_t>(spec.precision));
+  }
+  return pad(std::move(body), spec, '<');
+}
+
+namespace detail {
+
+std::string vformat(std::string_view fmt, const Formatter* formatters,
+                    std::size_t count) {
+  std::string out;
+  out.reserve(fmt.size() + count * 8);
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out += '{';
+        ++i;
+        continue;
+      }
+      const std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        throw std::invalid_argument("unterminated replacement field");
+      }
+      std::string_view field = fmt.substr(i + 1, close - i - 1);
+      FormatSpec spec;
+      if (!field.empty()) {
+        if (field[0] != ':') {
+          throw std::invalid_argument(
+              "positional/named arguments are not supported");
+        }
+        spec = parse_format_spec(field.substr(1));
+      }
+      if (next_arg >= count) {
+        throw std::invalid_argument("not enough format arguments");
+      }
+      out += formatters[next_arg](spec);
+      ++next_arg;
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') ++i;
+      out += '}';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace explora::common

@@ -1,0 +1,85 @@
+// Minimal std::format replacement (the toolchain's libstdc++ predates
+// <format>). Supports the subset the project uses:
+//   {}            default formatting
+//   {:<N} {:>N}   width with explicit alignment
+//   {:+.Nf}       sign + fixed precision
+//   {:.Nf}        fixed precision
+//   {:>W.Nf}      width + precision
+// plus {{ and }} escapes. Unknown specs throw std::invalid_argument.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace explora::common {
+
+struct FormatSpec {
+  char fill = ' ';
+  char align = '\0';  ///< '<', '>' or default per type
+  bool plus = false;
+  int width = 0;
+  int precision = -1;
+  char type = '\0';   ///< 'f', 'e', 'g', 'd', 'x', 's' or default
+};
+
+/// Parses the text after ':' in a replacement field.
+[[nodiscard]] FormatSpec parse_format_spec(std::string_view spec);
+
+[[nodiscard]] std::string format_value(const FormatSpec& spec, double value);
+[[nodiscard]] std::string format_value(const FormatSpec& spec, float value);
+[[nodiscard]] std::string format_value(const FormatSpec& spec,
+                                       long long value);
+[[nodiscard]] std::string format_value(const FormatSpec& spec,
+                                       unsigned long long value);
+[[nodiscard]] std::string format_value(const FormatSpec& spec, bool value);
+[[nodiscard]] std::string format_value(const FormatSpec& spec,
+                                       std::string_view value);
+
+template <typename T>
+[[nodiscard]] std::string format_any(const FormatSpec& spec, const T& value) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return format_value(spec, static_cast<bool>(value));
+  } else if constexpr (std::is_integral_v<T> && std::is_signed_v<T>) {
+    return format_value(spec, static_cast<long long>(value));
+  } else if constexpr (std::is_integral_v<T>) {
+    return format_value(spec, static_cast<unsigned long long>(value));
+  } else if constexpr (std::is_enum_v<T>) {
+    return format_value(spec, static_cast<long long>(value));
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return format_value(spec, static_cast<double>(value));
+  } else if constexpr (std::is_convertible_v<const T&, std::string_view>) {
+    return format_value(spec, std::string_view(value));
+  } else {
+    static_assert(std::is_convertible_v<const T&, std::string_view>,
+                  "unsupported format argument type");
+    return {};
+  }
+}
+
+namespace detail {
+
+using Formatter = std::function<std::string(const FormatSpec&)>;
+
+[[nodiscard]] std::string vformat(std::string_view fmt,
+                                  const Formatter* formatters,
+                                  std::size_t count);
+
+}  // namespace detail
+
+/// Formats `fmt`, replacing `{...}` fields with the arguments in order.
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view fmt, const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return detail::vformat(fmt, nullptr, 0);
+  } else {
+    const std::array<detail::Formatter, sizeof...(Args)> formatters = {
+        detail::Formatter(
+            [&args](const FormatSpec& spec) { return format_any(spec, args); })...};
+    return detail::vformat(fmt, formatters.data(), formatters.size());
+  }
+}
+
+}  // namespace explora::common

@@ -1,0 +1,50 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace explora::common {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+[[nodiscard]] const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
+  if (level < log_level()) return;
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] [";
+  line += component;
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
+}
+
+}  // namespace explora::common

@@ -1,0 +1,30 @@
+// Minimal leveled logger. Libraries log sparingly (warnings and above by
+// default); benches/examples raise the level for progress reporting.
+#pragma once
+
+#include <string_view>
+
+#include "common/format.hpp"
+
+namespace explora::common {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global minimum level that is emitted. Thread-compatible: set it
+/// once at startup before spawning workers.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr if `level` passes the global filter.
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+/// Formatting convenience wrapper (common::format placeholder syntax).
+template <typename... Args>
+void logf(LogLevel level, std::string_view component, std::string_view fmt,
+          const Args&... args) {
+  if (level < log_level()) return;
+  log_line(level, component, format(fmt, args...));
+}
+
+}  // namespace explora::common

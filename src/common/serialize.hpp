@@ -1,0 +1,70 @@
+// Tiny binary serialization for model weights and cached artifacts.
+//
+// Format: little-endian, no alignment, with a magic header and version so
+// stale caches are rejected instead of misread. Only trivially encodable
+// primitives plus vectors/strings are supported — deliberately minimal.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace explora::common {
+
+/// Thrown on malformed input, truncated files or version mismatches.
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only binary encoder.
+class BinaryWriter {
+ public:
+  /// @param magic 8-byte tag identifying the artifact type.
+  /// @param version format version embedded in the header.
+  BinaryWriter(std::uint64_t magic, std::uint32_t version);
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f64_vector(const std::vector<double>& v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept {
+    return buffer_;
+  }
+  /// Writes the buffer atomically (temp file + rename).
+  void save(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Sequential binary decoder; validates magic/version on construction.
+class BinaryReader {
+ public:
+  BinaryReader(std::vector<std::uint8_t> data, std::uint64_t magic,
+               std::uint32_t version);
+  /// Loads from disk; throws SerializeError when missing or malformed.
+  static BinaryReader load(const std::filesystem::path& path,
+                           std::uint64_t magic, std::uint32_t version);
+
+  [[nodiscard]] std::uint32_t read_u32();
+  [[nodiscard]] std::uint64_t read_u64();
+  [[nodiscard]] std::int64_t read_i64();
+  [[nodiscard]] double read_f64();
+  [[nodiscard]] std::string read_string();
+  [[nodiscard]] std::vector<double> read_f64_vector();
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void require(std::size_t bytes) const;
+
+  std::vector<std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace explora::common

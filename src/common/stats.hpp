@@ -1,0 +1,135 @@
+// Streaming and batch statistics used across the project:
+//   - RunningStats: Welford mean/variance with min/max,
+//   - SampleStore: bounded reservoir preserving a distribution sketch,
+//   - Histogram: fixed-bin histogram over a closed range,
+//   - quantile/cdf helpers,
+//   - Jensen-Shannon divergence between two empirical distributions,
+//   - Ewma: exponentially weighted moving average (PF scheduler, rewards).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace explora::common {
+
+/// Welford online accumulator: numerically stable mean/variance plus
+/// min/max, mergeable with another accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Mean of the observed samples; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Population variance; 0 with fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample (Bessel-corrected) variance; 0 with fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Bounded sample reservoir (Vitter's Algorithm R) that also tracks exact
+/// running moments over *all* samples seen, not only the retained ones.
+///
+/// The EXPLORA attributed graph stores one SampleStore per (KPI, slice)
+/// attribute: the reservoir sketch feeds distribution comparisons (JS
+/// divergence, quantiles) while the moments feed expected-reward estimates.
+class SampleStore {
+ public:
+  /// @param capacity maximum number of retained samples (> 0).
+  /// @param seed reservoir-replacement RNG seed.
+  explicit SampleStore(std::size_t capacity = 256, std::uint64_t seed = 1);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t seen() const noexcept { return stats_.count(); }
+  [[nodiscard]] std::size_t retained() const noexcept { return samples_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const RunningStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  /// Retained samples, unordered.
+  [[nodiscard]] std::span<const double> samples() const noexcept {
+    return samples_;
+  }
+  /// Empirical quantile (linear interpolation) over retained samples.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> samples_;
+  RunningStats stats_;
+  Rng rng_;
+};
+
+/// Fixed-bin histogram over [lo, hi]; out-of-range samples clamp to the
+/// edge bins so probability mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  /// Normalized probability mass per bin; uniform when empty.
+  [[nodiscard]] std::vector<double> pmf() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exponentially weighted moving average. alpha in (0, 1]; the first sample
+/// initializes the average directly.
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void add(double x) noexcept;
+  [[nodiscard]] bool empty() const noexcept { return !initialized_; }
+  /// Current average; `fallback` when no sample was added yet.
+  [[nodiscard]] double value(double fallback = 0.0) const noexcept;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Empirical quantile with linear interpolation; data need not be sorted.
+[[nodiscard]] double quantile(std::span<const double> data, double q);
+
+/// Median convenience wrapper.
+[[nodiscard]] double median(std::span<const double> data);
+
+/// Jensen-Shannon divergence (base-2 logarithm, so the result is in [0, 1])
+/// between two empirical sample sets, computed over a shared `bins`-bin
+/// histogram spanning the pooled range. Returns 0 when either set is empty.
+[[nodiscard]] double jensen_shannon_divergence(std::span<const double> a,
+                                               std::span<const double> b,
+                                               std::size_t bins = 32);
+
+/// Evaluates the empirical CDF of `data` at `points.size()` evenly spaced
+/// probabilities, returning the sorted sample values (for CDF plots).
+[[nodiscard]] std::vector<double> cdf_points(std::span<const double> data,
+                                             std::size_t points);
+
+}  // namespace explora::common

@@ -1,0 +1,112 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+#include "common/format.hpp"
+#include "common/stats.hpp"
+
+namespace explora::common {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EXPLORA_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  EXPLORA_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+  std::string rule = "+";
+  for (std::size_t w : widths) {
+    rule.append(w + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  std::string out = rule + render_row(header_) + rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string render_cdf(std::string_view label, std::span<const double> samples,
+                       std::string_view unit, std::size_t rows,
+                       std::size_t width) {
+  EXPLORA_EXPECTS(rows >= 2);
+  std::string out = format("CDF: {} ({} samples)\n", label,
+                                samples.size());
+  if (samples.empty()) return out + "  <no data>\n";
+  const double lo = quantile(samples, 0.0);
+  const double hi = quantile(samples, 1.0);
+  const double span = hi > lo ? hi - lo : 1.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double q = static_cast<double>(r) / static_cast<double>(rows - 1);
+    const double v = quantile(samples, q);
+    const auto bar = static_cast<std::size_t>(
+        std::round((v - lo) / span * static_cast<double>(width)));
+    out += format("  p{:<3} {:>12.3f} {} |{}\n",
+                       static_cast<int>(std::round(q * 100)), v, unit,
+                       std::string(bar, '#'));
+  }
+  return out;
+}
+
+std::string render_cdf_comparison(std::string_view label,
+                                  std::string_view name_a,
+                                  std::span<const double> a,
+                                  std::string_view name_b,
+                                  std::span<const double> b,
+                                  std::string_view unit) {
+  std::string out = format("=== {} ===\n", label);
+  out += render_cdf(name_a, a, unit);
+  out += render_cdf(name_b, b, unit);
+  if (!a.empty() && !b.empty()) {
+    const double med_a = median(a);
+    const double med_b = median(b);
+    const double p90_a = quantile(a, 0.9);
+    const double p90_b = quantile(b, 0.9);
+    auto pct = [](double base, double treat) {
+      return base == 0.0 ? 0.0 : (treat - base) / std::abs(base) * 100.0;
+    };
+    out += format(
+        "  median: {} {:.3f} vs {} {:.3f} ({:+.1f}%)\n", name_a, med_a,
+        name_b, med_b, pct(med_a, med_b));
+    out += format(
+        "  p90   : {} {:.3f} vs {} {:.3f} ({:+.1f}%)\n", name_a, p90_a,
+        name_b, p90_b, pct(p90_a, p90_b));
+  }
+  return out;
+}
+
+}  // namespace explora::common

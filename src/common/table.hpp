@@ -1,0 +1,44 @@
+// Console rendering helpers for the benchmark harness: aligned ASCII tables
+// (for reproducing the paper's tables) and inline CDF/series plots (for its
+// figures). Output is plain text so bench logs diff cleanly across runs.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace explora::common {
+
+/// Column-aligned ASCII table builder.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a header rule and column padding.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+
+/// Renders an ASCII CDF: one row per probed quantile, with a proportional
+/// bar. `label` heads the plot; `unit` annotates the x-axis values.
+[[nodiscard]] std::string render_cdf(std::string_view label,
+                                     std::span<const double> samples,
+                                     std::string_view unit,
+                                     std::size_t rows = 11,
+                                     std::size_t width = 40);
+
+/// Renders two CDFs side by side for visual comparison (baseline vs
+/// treatment), reporting median and p90 deltas underneath.
+[[nodiscard]] std::string render_cdf_comparison(
+    std::string_view label, std::string_view name_a,
+    std::span<const double> a, std::string_view name_b,
+    std::span<const double> b, std::string_view unit);
+
+}  // namespace explora::common

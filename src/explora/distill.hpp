@@ -1,0 +1,89 @@
+// Knowledge distillation (§4.3, Fig. 8/14, Tables 2/4): fit a decision
+// tree on the (v -> transition class) pairs extracted from the attributed
+// graph, extract its decision paths, and synthesize the concise
+// human-readable summaries that explain *why* the agent uses each class of
+// multi-modal transition.
+//
+// Note (paper §4.3): the DT here explains EXPLORA's transition knowledge;
+// it does not — and per Table 1 could not — replace the DRL agent itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explora/transitions.hpp"
+#include "xai/tree.hpp"
+
+namespace explora::core {
+
+/// Aggregated effect of one transition class on one KPI.
+enum class EffectMagnitude : std::uint8_t {
+  kNoChange = 0,
+  kAugmentsLightly,
+  kAugments,
+  kDiminishesLightly,
+  kDiminishes,
+};
+
+[[nodiscard]] std::string to_string(EffectMagnitude effect);
+
+/// Table 2/4 row: one transition class and its interpretation.
+struct ClassSummary {
+  TransitionClass cls = TransitionClass::kSelf;
+  std::size_t count = 0;
+  double share = 0.0;  ///< fraction of all transitions
+  /// Per-KPI aggregated mean delta (summed over slices).
+  std::array<double, netsim::kNumKpis> mean_kpi_delta{};
+  std::array<EffectMagnitude, netsim::kNumKpis> effect{};
+  std::string interpretation;  ///< human-readable sentence
+};
+
+/// Full distillation output.
+struct DistilledKnowledge {
+  xai::DecisionTreeClassifier tree;
+  std::vector<std::string> feature_names;
+  std::vector<std::string> class_names;
+  std::string rules;                       ///< rendered DT (Fig. 8/14)
+  std::vector<std::string> decision_paths; ///< root-to-leaf traces
+  double tree_accuracy = 0.0;              ///< fit accuracy on the events
+  std::array<ClassSummary, kNumTransitionClasses> summaries{};
+  std::string summary_text;                ///< Table 2/4 rendering
+};
+
+class KnowledgeDistiller {
+ public:
+  struct Config {
+    /// Append JS-divergence features to the mean-delta features.
+    bool include_js_features = false;
+    xai::DecisionTreeClassifier::Config tree{
+        .max_depth = 3,
+        .min_samples_leaf = 5,
+        .min_gain = 1e-4,
+        .criterion = xai::DecisionTreeClassifier::Criterion::kGini,
+    };
+    /// Effect wording is based on the t-statistic of the class mean
+    /// (mean / standard-error): below `no_change_threshold` reads as
+    /// "no change"; above `strong_threshold` it reads as strong.
+    double no_change_threshold = 2.0;
+    double strong_threshold = 6.0;
+  };
+
+  KnowledgeDistiller();
+  explicit KnowledgeDistiller(Config config);
+
+  /// Distills knowledge from the recorded transitions. Requires at least
+  /// two distinct classes among the events (otherwise there is nothing to
+  /// discriminate and the result contains summaries only, no tree).
+  [[nodiscard]] DistilledKnowledge distill(
+      const std::vector<TransitionEvent>& events) const;
+
+ private:
+  [[nodiscard]] EffectMagnitude classify_effect(double mean_delta,
+                                                double standard_error) const;
+
+  Config config_;
+};
+
+}  // namespace explora::core

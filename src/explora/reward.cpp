@@ -1,0 +1,69 @@
+#include "explora/reward.hpp"
+
+#include "common/contracts.hpp"
+#include "explora/graph.hpp"
+
+namespace explora::core {
+
+netsim::Kpi target_kpi(netsim::Slice slice) noexcept {
+  switch (slice) {
+    case netsim::Slice::kEmbb: return netsim::Kpi::kTxBitrate;
+    case netsim::Slice::kMmtc: return netsim::Kpi::kTxPackets;
+    case netsim::Slice::kUrllc: return netsim::Kpi::kBufferSize;
+  }
+  return netsim::Kpi::kTxBitrate;
+}
+
+RewardWeights RewardWeights::high_throughput() noexcept {
+  // eMBB bitrate [Mbit/s] dominates; the mMTC packet count [~10^2/window]
+  // and the URLLC buffer [~10^5 B] contribute at an order of magnitude
+  // less after scaling.
+  return RewardWeights{{1.0, 5e-3, -1e-6}};
+}
+
+RewardWeights RewardWeights::low_latency() noexcept {
+  // URLLC buffer occupancy dominates (negatively); throughput matters at
+  // an order of magnitude less.
+  return RewardWeights{{0.1, 5e-3, -2e-5}};
+}
+
+std::string to_string(AgentProfile profile) {
+  return profile == AgentProfile::kHighThroughput ? "HT" : "LL";
+}
+
+RewardWeights weights_for(AgentProfile profile) noexcept {
+  return profile == AgentProfile::kHighThroughput
+             ? RewardWeights::high_throughput()
+             : RewardWeights::low_latency();
+}
+
+RewardModel::RewardModel(RewardWeights weights) noexcept
+    : weights_(weights) {}
+
+double RewardModel::from_report(const netsim::KpiReport& report) const {
+  double reward = 0.0;
+  for (std::size_t l = 0; l < netsim::kNumSlices; ++l) {
+    const auto slice = static_cast<netsim::Slice>(l);
+    reward += weights_.w[l] * report.value(target_kpi(slice), slice);
+  }
+  return reward;
+}
+
+double RewardModel::from_window(
+    std::span<const netsim::KpiReport> window) const {
+  EXPLORA_EXPECTS(!window.empty());
+  double sum = 0.0;
+  for (const auto& report : window) sum += from_report(report);
+  return sum / static_cast<double>(window.size());
+}
+
+double RewardModel::from_node(const ActionNode& node) const {
+  double reward = 0.0;
+  for (std::size_t l = 0; l < netsim::kNumSlices; ++l) {
+    const auto slice = static_cast<netsim::Slice>(l);
+    reward += weights_.w[l] * node.attribute_mean(target_kpi(slice), slice);
+  }
+  return reward;
+}
+
+}  // namespace explora::core

@@ -1,0 +1,61 @@
+// The reward function of Eq. (1): a weighted sum of each slice's target
+// KPI, with the paper's two agent profiles — High-Throughput (HT)
+// prioritizes the eMBB bitrate contribution, Low-Latency (LL) prioritizes
+// minimizing the URLLC downlink buffer.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "netsim/kpi.hpp"
+#include "netsim/types.hpp"
+
+namespace explora::core {
+
+struct ActionNode;  // graph.hpp
+
+/// The target KPI kappa(s) per slice (§3.1): eMBB -> tx_bitrate,
+/// mMTC -> tx_packets, URLLC -> DWL_buffer_size.
+[[nodiscard]] netsim::Kpi target_kpi(netsim::Slice slice) noexcept;
+
+/// Per-slice weights w_l. Units fold in KPI scale: bitrate is in Mbit/s,
+/// packets in packets/window, buffer in bytes, so the weights normalize
+/// them to comparable magnitudes. The URLLC weight is negative (buffer
+/// occupancy is a latency proxy to be minimized).
+struct RewardWeights {
+  netsim::PerSlice<double> w{};
+
+  /// HT: eMBB bitrate dominates.
+  [[nodiscard]] static RewardWeights high_throughput() noexcept;
+  /// LL: URLLC buffer dominates.
+  [[nodiscard]] static RewardWeights low_latency() noexcept;
+};
+
+enum class AgentProfile : std::uint8_t { kHighThroughput = 0, kLowLatency = 1 };
+
+[[nodiscard]] std::string to_string(AgentProfile profile);
+[[nodiscard]] RewardWeights weights_for(AgentProfile profile) noexcept;
+
+/// Evaluates Eq. (1) against different KPI sources.
+class RewardModel {
+ public:
+  explicit RewardModel(RewardWeights weights) noexcept;
+
+  [[nodiscard]] const RewardWeights& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Reward of a single KPI report.
+  [[nodiscard]] double from_report(const netsim::KpiReport& report) const;
+  /// Mean reward across a window of reports (the per-decision reward).
+  [[nodiscard]] double from_window(
+      std::span<const netsim::KpiReport> window) const;
+  /// Expected reward of an action from its graph attributes (§5.2:
+  /// "instantaneous KPIs replaced with average values from b(a)").
+  [[nodiscard]] double from_node(const ActionNode& node) const;
+
+ private:
+  RewardWeights weights_;
+};
+
+}  // namespace explora::core

@@ -1,0 +1,81 @@
+#include "explora/shield.hpp"
+
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/format.hpp"
+
+namespace explora::core {
+
+ActionShield::ActionShield(netsim::SlicingControl fallback)
+    : fallback_(fallback) {}
+
+void ActionShield::add_rule(ShieldRule rule) {
+  EXPLORA_EXPECTS(rule.forbids != nullptr);
+  EXPLORA_EXPECTS(!rule.name.empty());
+  if (rule.forbids(fallback_)) {
+    throw std::invalid_argument(common::format(
+        "shield fallback {} violates rule '{}'", fallback_.to_string(),
+        rule.name));
+  }
+  rules_.push_back(std::move(rule));
+}
+
+ShieldRule ActionShield::min_prbs_rule(netsim::Slice slice,
+                                       std::uint32_t min_prbs) {
+  return ShieldRule{
+      .name = common::format("min-{}-prbs-{}", netsim::to_string(slice),
+                             min_prbs),
+      .forbids =
+          [slice, min_prbs](const netsim::SlicingControl& action) {
+            return action.prbs[static_cast<std::size_t>(slice)] < min_prbs;
+          },
+  };
+}
+
+ShieldRule ActionShield::ban_action_rule(
+    const netsim::SlicingControl& action) {
+  return ShieldRule{
+      .name = common::format("ban-{}", action.to_string()),
+      .forbids = [action](const netsim::SlicingControl& proposed) {
+        return proposed == action;
+      },
+  };
+}
+
+ShieldRule ActionShield::ban_scheduler_rule(netsim::Slice slice,
+                                            netsim::SchedulerPolicy policy) {
+  return ShieldRule{
+      .name = common::format("ban-{}-on-{}", netsim::to_string(policy),
+                             netsim::to_string(slice)),
+      .forbids = [slice, policy](const netsim::SlicingControl& action) {
+        return action.scheduling[static_cast<std::size_t>(slice)] == policy;
+      },
+  };
+}
+
+ShieldOutcome ActionShield::apply(const netsim::SlicingControl& proposed) {
+  ++decisions_;
+  for (const ShieldRule& rule : rules_) {
+    if (rule.forbids(proposed)) {
+      ++blocked_;
+      ++blocks_by_rule_[rule.name];
+      return ShieldOutcome{
+          .enforced = fallback_,
+          .blocked = true,
+          .violated_rule = rule.name,
+          .rationale = common::format(
+              "shield: {} violates rule '{}'; enforcing fallback {}",
+              proposed.to_string(), rule.name, fallback_.to_string()),
+      };
+    }
+  }
+  return ShieldOutcome{
+      .enforced = proposed,
+      .blocked = false,
+      .violated_rule = {},
+      .rationale = "shield: proposal compliant",
+  };
+}
+
+}  // namespace explora::core

@@ -1,0 +1,84 @@
+// Action shielding (the paper's Opt 2, §4.4): unlike steering — which
+// substitutes an action only when the graph knows a better one — a shield
+// *unconditionally* inhibits actions considered dangerous, independent of
+// the observed environment. Shields are built post-training from operator
+// rules [1] (e.g. "never leave the URLLC slice under 5 PRBs").
+//
+// The paper argues (and Appendix D quantifies) that for non-stationary
+// RAN control steering is preferable because it never permanently removes
+// actions; this module exists to make that comparison runnable (see
+// bench_ablation_shield_vs_steer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/types.hpp"
+
+namespace explora::core {
+
+/// One shielding rule: a predicate marking actions as forbidden, with a
+/// human-readable rationale for the explanation archive.
+struct ShieldRule {
+  std::string name;
+  std::function<bool(const netsim::SlicingControl&)> forbids;
+};
+
+/// Outcome of applying the shield to one proposed action.
+struct ShieldOutcome {
+  netsim::SlicingControl enforced;
+  bool blocked = false;          ///< the proposal violated a rule
+  std::string violated_rule;     ///< first matching rule name
+  std::string rationale;
+};
+
+class ActionShield {
+ public:
+  /// @param fallback action enforced when a proposal is blocked; must
+  ///        itself satisfy every rule added later (checked on add_rule).
+  explicit ActionShield(netsim::SlicingControl fallback);
+
+  /// Adds a rule; throws std::invalid_argument when the fallback action
+  /// itself violates it (a shield that can deadlock is misconfigured).
+  void add_rule(ShieldRule rule);
+
+  /// Convenience rules mirroring common operator intents.
+  /// Forbids actions reserving fewer than `min_prbs` PRBs for `slice`.
+  static ShieldRule min_prbs_rule(netsim::Slice slice,
+                                  std::uint32_t min_prbs);
+  /// Forbids an explicit action (blanket ban).
+  static ShieldRule ban_action_rule(const netsim::SlicingControl& action);
+  /// Forbids using a scheduling policy on a slice.
+  static ShieldRule ban_scheduler_rule(netsim::Slice slice,
+                                       netsim::SchedulerPolicy policy);
+
+  /// Applies the shield: forwards compliant actions, substitutes the
+  /// fallback otherwise.
+  [[nodiscard]] ShieldOutcome apply(const netsim::SlicingControl& proposed);
+
+  [[nodiscard]] std::size_t rule_count() const noexcept {
+    return rules_.size();
+  }
+  [[nodiscard]] std::uint64_t decisions() const noexcept {
+    return decisions_;
+  }
+  [[nodiscard]] std::uint64_t blocked() const noexcept { return blocked_; }
+  /// Block counts per rule (telemetry).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& blocks_by_rule()
+      const noexcept {
+    return blocks_by_rule_;
+  }
+
+ private:
+  netsim::SlicingControl fallback_;
+  std::vector<ShieldRule> rules_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t blocked_ = 0;
+  std::map<std::string, std::uint64_t> blocks_by_rule_;
+};
+
+}  // namespace explora::core

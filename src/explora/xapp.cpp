@@ -1,0 +1,142 @@
+#include "explora/xapp.hpp"
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+
+namespace explora::core {
+
+ExploraXapp::ExploraXapp(Config config, oran::RmrRouter& router,
+                         oran::DataRepository* repository)
+    : config_(std::move(config)),
+      router_(&router),
+      repository_(repository),
+      reward_(config_.reward_weights),
+      graph_(config_.graph) {
+  EXPLORA_EXPECTS(config_.reports_per_decision > 0);
+  if (config_.steering.has_value()) {
+    steering_.emplace(graph_, reward_, *config_.steering);
+  }
+  if (config_.shield.has_value()) {
+    shield_ = config_.shield;
+  }
+}
+
+const ActionShield& ExploraXapp::shield() const {
+  EXPLORA_EXPECTS(shield_.has_value());
+  return *shield_;
+}
+
+const ActionSteering& ExploraXapp::steering() const {
+  EXPLORA_EXPECTS(steering_.has_value());
+  return *steering_;
+}
+
+void ExploraXapp::on_a1_policy(const oran::A1Policy& policy) {
+  ++a1_policies_applied_;
+  common::logf(common::LogLevel::kInfo, "explora-xapp",
+               "A1 policy {}: intent {}", policy.policy_id,
+               oran::to_string(policy.intent));
+  if (policy.intent == oran::A1Intent::kObserveOnly) {
+    steering_.reset();
+    return;
+  }
+  ActionSteering::Config config;
+  config.observation_window = policy.observation_window;
+  switch (policy.intent) {
+    case oran::A1Intent::kMaxReward:
+      config.strategy = SteeringStrategy::kMaxReward;
+      break;
+    case oran::A1Intent::kMinReward:
+      config.strategy = SteeringStrategy::kMinReward;
+      break;
+    case oran::A1Intent::kImproveBitrate:
+      config.strategy = SteeringStrategy::kImproveBitrate;
+      break;
+    case oran::A1Intent::kObserveOnly:
+      break;  // handled above
+  }
+  steering_.emplace(graph_, reward_, config);
+}
+
+void ExploraXapp::on_message(const oran::RicMessage& message) {
+  switch (message.type) {
+    case oran::MessageType::kKpmIndication: {
+      if (!current_action_.has_value()) return;  // nothing enforced yet
+      const netsim::KpiReport& report = message.kpm().report;
+      // b(a): the consequence of the enforced action on the future state.
+      graph_.record_consequence(report);
+      pending_window_.push_back(report);
+      if (pending_window_.size() >= config_.reports_per_decision) {
+        finalize_decision_window();
+      }
+      return;
+    }
+    case oran::MessageType::kRanControl: {
+      ++controls_seen_;
+      const netsim::SlicingControl proposed =
+          message.ran_control().control;
+
+      // Close the still-open window of the previous action (the agent may
+      // decide on a different cadence than our window bookkeeping).
+      if (!pending_window_.empty()) finalize_decision_window();
+
+      netsim::SlicingControl enforced = proposed;
+      std::string rationale = "forwarded unchanged (steering disabled)";
+      bool replaced = false;
+      // Opt 2 first: the shield is a hard constraint; whatever it enforces
+      // is what steering (Opt 1) then reasons about.
+      if (shield_.has_value()) {
+        ShieldOutcome shielded = shield_->apply(enforced);
+        if (shielded.blocked) {
+          enforced = shielded.enforced;
+          replaced = true;
+          rationale = std::move(shielded.rationale);
+        }
+      }
+      if (steering_.has_value()) {
+        SteeringOutcome outcome =
+            steering_->steer(enforced, current_action_);
+        if (outcome.replaced || !replaced) {
+          rationale = std::move(outcome.rationale);
+        }
+        enforced = outcome.enforced;
+        replaced = replaced || outcome.replaced;
+      }
+      if (replaced) ++controls_replaced_;
+
+      graph_.begin_action(enforced);
+      current_action_ = enforced;
+
+      if (repository_ != nullptr) {
+        repository_->store_explanation(oran::ExplanationRecord{
+            .decision_id = message.ran_control().decision_id,
+            .proposed = proposed,
+            .enforced = enforced,
+            .replaced = replaced,
+            .explanation = rationale,
+        });
+      }
+      router_->send(oran::make_ran_control(config_.name, enforced,
+                                           message.ran_control().decision_id));
+      return;
+    }
+  }
+}
+
+void ExploraXapp::finalize_decision_window() {
+  EXPLORA_EXPECTS(current_action_.has_value());
+  EXPLORA_EXPECTS(!pending_window_.empty());
+  tracker_.record_step(*current_action_, pending_window_);
+  if (steering_.has_value()) {
+    steering_->push_measured_reward(reward_.from_window(pending_window_));
+  }
+  pending_window_.clear();
+}
+
+DistilledKnowledge ExploraXapp::explain(
+    KnowledgeDistiller::Config distiller) const {
+  EXPLORA_EXPECTS(!tracker_.events().empty());
+  return KnowledgeDistiller(distiller).distill(tracker_.events());
+}
+
+}  // namespace explora::core

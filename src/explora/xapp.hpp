@@ -1,0 +1,112 @@
+// The EXPLORA xApp (§5.1, Fig. 6): a standalone xApp interposed on the
+// RAN-control route. It watches E2 KPM indications to build the attributed
+// graph online (module 1, XAI) and optionally steers the DRL agent's
+// proposed actions per Algorithm 1 (module 2, EDBR) before forwarding them
+// to the E2 termination. Every decision is archived as a
+// (state, action, explanation) record in the RIC data repository.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explora/distill.hpp"
+#include "explora/edbr.hpp"
+#include "explora/graph.hpp"
+#include "explora/reward.hpp"
+#include "explora/shield.hpp"
+#include "explora/transitions.hpp"
+#include "oran/a1.hpp"
+#include "oran/data_repository.hpp"
+#include "oran/rmr.hpp"
+
+namespace explora::core {
+
+class ExploraXapp final : public oran::RmrEndpoint,
+                          public oran::A1PolicyConsumer {
+ public:
+  struct Config {
+    std::string name = "explora_xapp";
+    /// KPM indications forming one decision window (M in the paper).
+    std::size_t reports_per_decision = 10;
+    AttributedGraph::Config graph{};
+    RewardWeights reward_weights = RewardWeights::high_throughput();
+    /// Enables EDBR steering; without it the xApp observes and explains
+    /// but always forwards the agent's action unchanged.
+    std::optional<ActionSteering::Config> steering;
+    /// Optional action shield (the paper's Opt 2): applied *before*
+    /// steering, unconditionally blocking rule-violating proposals.
+    std::optional<ActionShield> shield;
+  };
+
+  /// @param router used to forward (possibly substituted) controls.
+  /// @param repository archive for explanation records; may be null.
+  ExploraXapp(Config config, oran::RmrRouter& router,
+              oran::DataRepository* repository);
+
+  [[nodiscard]] std::string_view endpoint_name() const noexcept override {
+    return config_.name;
+  }
+  void on_message(const oran::RicMessage& message) override;
+
+  /// A1 policy guidance from the non-RT RIC: switches the EDBR intent at
+  /// runtime. Graph knowledge is retained; steering statistics restart
+  /// with the new policy (they describe the policy's own behaviour).
+  void on_a1_policy(const oran::A1Policy& policy) override;
+  [[nodiscard]] std::uint64_t a1_policies_applied() const noexcept {
+    return a1_policies_applied_;
+  }
+
+  // --- XAI module access --------------------------------------------------
+  [[nodiscard]] const AttributedGraph& graph() const noexcept {
+    return graph_;
+  }
+  [[nodiscard]] const TransitionTracker& tracker() const noexcept {
+    return tracker_;
+  }
+  /// Synthesizes the post-hoc explanations (DT + Table 2/4 summaries) from
+  /// the transitions observed so far.
+  [[nodiscard]] DistilledKnowledge explain(
+      KnowledgeDistiller::Config distiller = {}) const;
+
+  // --- EDBR access ----------------------------------------------------------
+  [[nodiscard]] bool steering_enabled() const noexcept {
+    return steering_.has_value();
+  }
+  [[nodiscard]] const ActionSteering& steering() const;
+  [[nodiscard]] std::uint64_t controls_seen() const noexcept {
+    return controls_seen_;
+  }
+  [[nodiscard]] std::uint64_t controls_replaced() const noexcept {
+    return controls_replaced_;
+  }
+  [[nodiscard]] bool shield_enabled() const noexcept {
+    return shield_.has_value();
+  }
+  [[nodiscard]] const ActionShield& shield() const;
+  [[nodiscard]] const RewardModel& reward_model() const noexcept {
+    return reward_;
+  }
+
+ private:
+  void finalize_decision_window();
+
+  Config config_;
+  oran::RmrRouter* router_;
+  oran::DataRepository* repository_;
+  RewardModel reward_;
+  AttributedGraph graph_;
+  TransitionTracker tracker_;
+  std::optional<ActionSteering> steering_;
+  std::optional<ActionShield> shield_;
+
+  std::optional<netsim::SlicingControl> current_action_;
+  std::vector<netsim::KpiReport> pending_window_;
+  std::uint64_t controls_seen_ = 0;
+  std::uint64_t controls_replaced_ = 0;
+  std::uint64_t a1_policies_applied_ = 0;
+};
+
+}  // namespace explora::core

@@ -1,0 +1,144 @@
+#include "harness/experiment.hpp"
+
+#include <optional>
+
+#include "common/contracts.hpp"
+#include "explora/xapp.hpp"
+#include "oran/drl_xapp.hpp"
+#include "oran/ric.hpp"
+
+namespace explora::harness {
+
+double ExperimentResult::mean_reward() const {
+  if (decisions.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& record : decisions) sum += record.reward;
+  return sum / static_cast<double>(decisions.size());
+}
+
+ExperimentResult run_experiment(const TrainedSystem& system,
+                                const netsim::ScenarioConfig& scenario,
+                                const ExperimentOptions& options,
+                                const TrainingConfig& training) {
+  EXPLORA_EXPECTS(system.autoencoder != nullptr && system.agent != nullptr);
+  return run_experiment(system.normalizer, *system.autoencoder,
+                        *system.agent, system.profile, scenario, options,
+                        training);
+}
+
+ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
+                                const ml::Autoencoder& autoencoder,
+                                const ml::PolicyAgent& agent,
+                                core::AgentProfile profile,
+                                const netsim::ScenarioConfig& scenario,
+                                const ExperimentOptions& options,
+                                const TrainingConfig& training) {
+  EXPLORA_EXPECTS(options.decisions > 0);
+  EXPLORA_EXPECTS(!options.steering.has_value() || options.deploy_explora);
+  EXPLORA_EXPECTS(!options.shield.has_value() || options.deploy_explora);
+
+  const std::size_t reports_per_decision = training.reports_per_decision;
+  const core::RewardModel reward_model(core::weights_for(profile));
+
+  oran::NearRtRic ric(netsim::make_gnb(scenario));
+
+  oran::DrlXapp::Config drl_config;
+  drl_config.reports_per_decision = reports_per_decision;
+  drl_config.stochastic = options.stochastic_agent;
+  drl_config.prb_temperature = options.prb_temperature;
+  drl_config.sched_temperature = options.sched_temperature;
+  drl_config.seed = options.xapp_seed;
+  oran::DrlXapp drl(drl_config, normalizer, autoencoder, agent,
+                    ric.router());
+  ric.attach_xapp(drl);
+  ric.subscribe_indications(std::string(drl.endpoint_name()));
+
+  std::optional<core::ExploraXapp> explora;
+  if (options.deploy_explora) {
+    core::ExploraXapp::Config xapp_config;
+    xapp_config.reports_per_decision = reports_per_decision;
+    xapp_config.reward_weights = core::weights_for(profile);
+    xapp_config.steering = options.steering;
+    xapp_config.shield = options.shield;
+    explora.emplace(xapp_config, ric.router(), &ric.repository());
+    ric.attach_xapp(*explora);
+    ric.subscribe_indications(std::string(explora->endpoint_name()));
+    ric.route_control_via(std::string(drl.endpoint_name()),
+                          std::string(explora->endpoint_name()));
+  } else {
+    ric.route_control(std::string(drl.endpoint_name()));
+  }
+
+  ExperimentResult result;
+  result.decisions.reserve(options.decisions);
+
+  auto harvest_window_samples = [&result, &ric, reports_per_decision]() {
+    for (const auto& report :
+         ric.repository().latest_reports(reports_per_decision)) {
+      result.embb_bitrate_mbps.push_back(
+          report.value(netsim::Kpi::kTxBitrate, netsim::Slice::kEmbb));
+      result.mmtc_tx_packets.push_back(
+          report.value(netsim::Kpi::kTxPackets, netsim::Slice::kMmtc));
+      result.urllc_buffer_bytes.push_back(
+          report.value(netsim::Kpi::kBufferSize, netsim::Slice::kUrllc));
+    }
+  };
+  auto window_reward = [&ric, &reward_model, reports_per_decision]() {
+    const auto window = ric.repository().latest_reports(reports_per_decision);
+    return reward_model.from_window(window);
+  };
+
+  std::uint64_t replaced_before = 0;
+  for (std::size_t d = 0; d < options.decisions; ++d) {
+    if (options.drop_ue_at_decision.has_value() &&
+        d == *options.drop_ue_at_decision) {
+      ric.gnb().detach_one_ue(options.drop_slice);
+    }
+    // One decision period: M report windows, after which the DRL xApp has
+    // emitted (and the route has enforced) the next control.
+    ric.run_windows(reports_per_decision);
+    harvest_window_samples();
+
+    // The reward of this window block credits the previous decision.
+    if (!result.decisions.empty()) {
+      result.decisions.back().reward = window_reward();
+    }
+
+    if (!drl.last_decision().has_value()) continue;  // warm-up block
+    DecisionRecord record;
+    record.latent = drl.last_latent();
+    record.proposed = ml::to_control(drl.last_decision()->action);
+    record.enforced = ric.gnb().control();
+    if (explora.has_value()) {
+      record.replaced = explora->controls_replaced() > replaced_before;
+      replaced_before = explora->controls_replaced();
+    }
+    result.decisions.push_back(std::move(record));
+  }
+  // Credit the final decision with one more observation block.
+  ric.run_windows(reports_per_decision);
+  harvest_window_samples();
+  if (!result.decisions.empty()) {
+    result.decisions.back().reward = window_reward();
+  }
+
+  if (explora.has_value()) {
+    result.graph = explora->graph();
+    result.transitions = explora->tracker().events();
+    result.controls_replaced = explora->controls_replaced();
+    if (explora->steering_enabled()) {
+      SteeringStats stats;
+      stats.decisions = explora->steering().decisions();
+      stats.suggestions = explora->steering().suggestions();
+      stats.replacements = explora->steering().replacements();
+      for (const auto& [action, count] :
+           explora->steering().replacement_counts()) {
+        stats.per_action_replaced_out.push_back(count);
+      }
+      result.steering = std::move(stats);
+    }
+  }
+  return result;
+}
+
+}  // namespace explora::harness

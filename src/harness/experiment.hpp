@@ -1,0 +1,101 @@
+// Deployed-experiment runner: instantiates the full O-RAN pipeline of
+// Fig. 6 (gNB -> E2 termination -> RMR -> DRL xApp [-> EXPLORA xApp] ->
+// E2 termination) and drives it for a configured number of decision
+// periods, harvesting everything the paper's figures need: per-window KPI
+// samples, per-decision actions/latents/rewards, the attributed graph,
+// transition events and steering statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "explora/edbr.hpp"
+#include "explora/shield.hpp"
+#include "explora/graph.hpp"
+#include "explora/reward.hpp"
+#include "explora/transitions.hpp"
+#include "harness/training.hpp"
+#include "ml/agent.hpp"
+#include "ml/features.hpp"
+#include "netsim/scenario.hpp"
+
+namespace explora::harness {
+
+struct ExperimentOptions {
+  /// Number of DRL decision periods to run (each = M report windows;
+  /// 720 decisions = 30 simulated minutes at 4 decisions/s).
+  std::size_t decisions = 720;
+  /// Deploy the EXPLORA xApp on the control path.
+  bool deploy_explora = true;
+  /// EDBR steering (requires deploy_explora).
+  std::optional<core::ActionSteering::Config> steering;
+  /// Action shield (Opt 2; requires deploy_explora). Applied before
+  /// steering inside the EXPLORA xApp.
+  std::optional<core::ActionShield> shield;
+  /// Sample actions from the policy instead of taking the argmax. The
+  /// paper's deployed agents keep exploring; sampling reproduces the
+  /// action diversity visible in its graphs.
+  bool stochastic_agent = true;
+  /// Sampling temperatures for the deployed policy (< 1 concentrates it;
+  /// the deployed paper agents mix a dominant action with excursions).
+  /// The slicing (PRB) head runs colder than the scheduler heads.
+  double prb_temperature = 0.35;
+  double sched_temperature = 0.9;
+  std::uint64_t xapp_seed = 555;
+  /// Detach one UE of `drop_slice` after this many decisions (the paper's
+  /// "Users: 6, drop to 5" steering setup).
+  std::optional<std::size_t> drop_ue_at_decision;
+  netsim::Slice drop_slice = netsim::Slice::kMmtc;
+};
+
+/// One DRL decision period.
+struct DecisionRecord {
+  ml::Vector latent;                      ///< agent input (autoencoder out)
+  netsim::SlicingControl proposed;        ///< agent's action
+  netsim::SlicingControl enforced;        ///< after EDBR (== proposed if off)
+  bool replaced = false;
+  double reward = 0.0;                    ///< Eq. (1) over the window
+};
+
+struct SteeringStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t suggestions = 0;
+  std::uint64_t replacements = 0;
+  /// Replacement multiplicity per action replaced out (Fig. 15's
+  /// "same action substituted more than 3 times is rare").
+  std::vector<std::uint64_t> per_action_replaced_out;
+};
+
+struct ExperimentResult {
+  std::vector<DecisionRecord> decisions;
+  /// Per report window (decisions x M entries), slice-aggregate KPIs.
+  std::vector<double> embb_bitrate_mbps;
+  std::vector<double> mmtc_tx_packets;
+  std::vector<double> urllc_buffer_bytes;
+  /// EXPLORA state (empty/default when deploy_explora is false).
+  core::AttributedGraph graph;
+  std::vector<core::TransitionEvent> transitions;
+  std::optional<SteeringStats> steering;
+  std::uint64_t controls_replaced = 0;
+
+  /// Mean reward across decisions.
+  [[nodiscard]] double mean_reward() const;
+};
+
+/// Runs one experiment; `system` provides the trained models (borrowed —
+/// the xApps hold const references for the run's duration).
+[[nodiscard]] ExperimentResult run_experiment(
+    const TrainedSystem& system, const netsim::ScenarioConfig& scenario,
+    const ExperimentOptions& options, const TrainingConfig& training = {});
+
+/// Agent-family-agnostic variant (the paper's §4.2 claim): any PolicyAgent
+/// — PPO, DQN, ... — can drive the pipeline; `profile` selects the reward
+/// model EXPLORA uses for expected-reward estimates.
+[[nodiscard]] ExperimentResult run_experiment(
+    const ml::KpiNormalizer& normalizer, const ml::Autoencoder& autoencoder,
+    const ml::PolicyAgent& agent, core::AgentProfile profile,
+    const netsim::ScenarioConfig& scenario, const ExperimentOptions& options,
+    const TrainingConfig& training = {});
+
+}  // namespace explora::harness

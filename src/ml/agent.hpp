@@ -1,0 +1,52 @@
+// The agent abstraction the paper's Fig. 5 relies on: EXPLORA (and the
+// DRL xApp) only need a policy that maps latent states to multi-modal
+// actions — "this approach can be easily applied to a variety of DRL
+// models such as DQN, PPO or A3C" (§4.2). PpoAgent and DqnAgent implement
+// this interface; the xApps program against it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+#include "ml/features.hpp"
+
+namespace explora::ml {
+
+/// Number of categorical heads: PRB split + one scheduler per slice.
+inline constexpr std::size_t kNumHeads = 1 + netsim::kNumSlices;
+
+/// Policy evaluation output for one state.
+struct PolicyDecision {
+  AgentAction action{};
+  double log_prob = 0.0;
+  double value = 0.0;
+  /// Per-head probability (or normalized preference) of the chosen
+  /// component (diagnostics/XAI).
+  std::array<double, kNumHeads> head_probs{};
+};
+
+/// Inference-side view of a trained multi-modal agent.
+class PolicyAgent {
+ public:
+  virtual ~PolicyAgent() = default;
+
+  /// Deterministic (deployment) action.
+  [[nodiscard]] virtual PolicyDecision act_greedy(
+      std::span<const double> state) const = 0;
+
+  /// Stochastic action; `temperatures[h]` controls how sharply head h
+  /// concentrates around its greedy choice (1.0 = the trained policy /
+  /// canonical exploration, lower = colder).
+  [[nodiscard]] virtual PolicyDecision act(
+      std::span<const double> state, common::Rng& rng,
+      const std::array<double, kNumHeads>& temperatures) const = 0;
+
+  /// Per-head distributions over the action components at `state`
+  /// (what SHAP explains).
+  [[nodiscard]] virtual std::vector<Vector> head_distributions(
+      std::span<const double> state) const = 0;
+};
+
+}  // namespace explora::ml

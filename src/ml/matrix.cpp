@@ -1,0 +1,52 @@
+#include "ml/matrix.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace explora::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void Matrix::fill(double value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
+  EXPLORA_EXPECTS(x.size() == cols_);
+  EXPLORA_EXPECTS(y.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void Matrix::multiply_transposed(std::span<const double> x,
+                                 std::span<double> y) const {
+  EXPLORA_EXPECTS(x.size() == rows_);
+  EXPLORA_EXPECTS(y.size() == cols_);
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void Matrix::add_outer(double alpha, std::span<const double> u,
+                       std::span<const double> v) {
+  EXPLORA_EXPECTS(u.size() == rows_);
+  EXPLORA_EXPECTS(v.size() == cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = data_.data() + r * cols_;
+    const double scale = alpha * u[r];
+    if (scale == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) row[c] += scale * v[c];
+  }
+}
+
+}  // namespace explora::ml

@@ -1,0 +1,259 @@
+#include "ml/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace explora::ml {
+
+void apply_activation(Activation act, std::span<double> values) noexcept {
+  switch (act) {
+    case Activation::kLinear:
+      return;
+    case Activation::kRelu:
+      for (double& v : values) v = v > 0.0 ? v : 0.0;
+      return;
+    case Activation::kTanh:
+      for (double& v : values) v = std::tanh(v);
+      return;
+  }
+}
+
+void apply_activation_grad(Activation act, std::span<const double> activated,
+                           std::span<double> grad) noexcept {
+  EXPLORA_EXPECTS(activated.size() == grad.size());
+  switch (act) {
+    case Activation::kLinear:
+      return;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        if (activated[i] <= 0.0) grad[i] = 0.0;
+      }
+      return;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad[i] *= 1.0 - activated[i] * activated[i];
+      }
+      return;
+  }
+}
+
+void softmax(std::span<double> logits) noexcept {
+  if (logits.empty()) return;
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - peak);
+    sum += v;
+  }
+  for (double& v : logits) v /= sum;
+}
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act,
+                       common::Rng& rng)
+    : weights_(out, in),
+      bias_(out, 0.0),
+      weight_grad_(out, in),
+      bias_grad_(out, 0.0),
+      act_(act) {
+  EXPLORA_EXPECTS(in > 0 && out > 0);
+  // He initialization for ReLU, Xavier for tanh/linear.
+  const double scale =
+      act == Activation::kRelu
+          ? std::sqrt(2.0 / static_cast<double>(in))
+          : std::sqrt(1.0 / static_cast<double>(in));
+  for (double& w : weights_.data()) w = rng.normal(0.0, scale);
+}
+
+void DenseLayer::forward(std::span<const double> in,
+                         std::span<double> out) const {
+  weights_.multiply(in, out);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += bias_[i];
+  apply_activation(act_, out);
+}
+
+void DenseLayer::backward(std::span<const double> in,
+                          std::span<const double> activated,
+                          std::span<double> grad_out,
+                          std::span<double> grad_in) {
+  apply_activation_grad(act_, activated, grad_out);
+  // dW += grad_out (x) in ; db += grad_out
+  weight_grad_.add_outer(1.0, grad_out, in);
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    bias_grad_[i] += grad_out[i];
+  }
+  weights_.multiply_transposed(grad_out, grad_in);
+}
+
+void DenseLayer::zero_grad() noexcept {
+  weight_grad_.fill(0.0);
+  std::fill(bias_grad_.begin(), bias_grad_.end(), 0.0);
+}
+
+std::size_t DenseLayer::parameter_count() const noexcept {
+  return weights_.size() + bias_.size();
+}
+
+void DenseLayer::collect_parameters(std::vector<double*>& params,
+                                    std::vector<double*>& grads) {
+  auto weight_data = weights_.data();
+  auto grad_data = weight_grad_.data();
+  for (std::size_t i = 0; i < weight_data.size(); ++i) {
+    params.push_back(&weight_data[i]);
+    grads.push_back(&grad_data[i]);
+  }
+  for (std::size_t i = 0; i < bias_.size(); ++i) {
+    params.push_back(&bias_[i]);
+    grads.push_back(&bias_grad_[i]);
+  }
+}
+
+void DenseLayer::serialize(common::BinaryWriter& writer) const {
+  writer.write_u64(weights_.rows());
+  writer.write_u64(weights_.cols());
+  writer.write_u32(static_cast<std::uint32_t>(act_));
+  writer.write_f64_vector(
+      std::vector<double>(weights_.data().begin(), weights_.data().end()));
+  writer.write_f64_vector(bias_);
+}
+
+void DenseLayer::deserialize(common::BinaryReader& reader) {
+  const auto rows = reader.read_u64();
+  const auto cols = reader.read_u64();
+  const auto act = static_cast<Activation>(reader.read_u32());
+  if (rows != weights_.rows() || cols != weights_.cols() || act != act_) {
+    throw common::SerializeError("layer shape mismatch on load");
+  }
+  const auto weight_values = reader.read_f64_vector();
+  const auto bias_values = reader.read_f64_vector();
+  if (weight_values.size() != weights_.size() ||
+      bias_values.size() != bias_.size()) {
+    throw common::SerializeError("layer payload size mismatch");
+  }
+  std::copy(weight_values.begin(), weight_values.end(),
+            weights_.data().begin());
+  bias_ = bias_values;
+}
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation hidden,
+         Activation output, common::Rng& rng) {
+  EXPLORA_EXPECTS(layer_sizes.size() >= 2);
+  layers_.reserve(layer_sizes.size() - 1);
+  for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    const bool last = i + 2 == layer_sizes.size();
+    layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1],
+                         last ? output : hidden, rng);
+  }
+  tape_.resize(layer_sizes.size());
+  for (std::size_t i = 0; i < layer_sizes.size(); ++i) {
+    tape_[i].resize(layer_sizes[i], 0.0);
+  }
+}
+
+std::size_t Mlp::in_size() const noexcept { return layers_.front().in_size(); }
+std::size_t Mlp::out_size() const noexcept {
+  return layers_.back().out_size();
+}
+
+const Vector& Mlp::forward(std::span<const double> in) {
+  EXPLORA_EXPECTS(in.size() == in_size());
+  std::copy(in.begin(), in.end(), tape_[0].begin());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].forward(tape_[i], tape_[i + 1]);
+  }
+  return tape_.back();
+}
+
+void Mlp::infer(std::span<const double> in, std::span<double> out) const {
+  EXPLORA_EXPECTS(in.size() == in_size());
+  EXPLORA_EXPECTS(out.size() == out_size());
+  Vector scratch_a(in.begin(), in.end());
+  Vector scratch_b;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    scratch_b.assign(layers_[i].out_size(), 0.0);
+    layers_[i].forward(scratch_a, scratch_b);
+    scratch_a.swap(scratch_b);
+  }
+  std::copy(scratch_a.begin(), scratch_a.end(), out.begin());
+}
+
+Vector Mlp::backward(std::span<const double> grad_output) {
+  EXPLORA_EXPECTS(grad_output.size() == out_size());
+  Vector grad_out(grad_output.begin(), grad_output.end());
+  Vector grad_in;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad_in.assign(layers_[i].in_size(), 0.0);
+    layers_[i].backward(tape_[i], tape_[i + 1], grad_out, grad_in);
+    grad_out.swap(grad_in);
+  }
+  return grad_out;
+}
+
+void Mlp::zero_grad() noexcept {
+  for (auto& layer : layers_) layer.zero_grad();
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer.parameter_count();
+  return total;
+}
+
+void Mlp::collect_parameters(std::vector<double*>& params,
+                             std::vector<double*>& grads) {
+  for (auto& layer : layers_) layer.collect_parameters(params, grads);
+}
+
+void Mlp::serialize(common::BinaryWriter& writer) const {
+  writer.write_u64(layers_.size());
+  for (const auto& layer : layers_) layer.serialize(writer);
+}
+
+void Mlp::deserialize(common::BinaryReader& reader) {
+  const auto count = reader.read_u64();
+  if (count != layers_.size()) {
+    throw common::SerializeError("network depth mismatch on load");
+  }
+  for (auto& layer : layers_) layer.deserialize(reader);
+}
+
+AdamOptimizer::AdamOptimizer() : AdamOptimizer(Config{}) {}
+
+AdamOptimizer::AdamOptimizer(Config config) : config_(config) {
+  EXPLORA_EXPECTS(config.learning_rate > 0.0);
+}
+
+void AdamOptimizer::attach(Mlp& network) {
+  network.collect_parameters(params_, grads_);
+  m_.assign(params_.size(), 0.0);
+  v_.assign(params_.size(), 0.0);
+  t_ = 0;
+}
+
+void AdamOptimizer::step() {
+  EXPLORA_EXPECTS(!params_.empty());
+  if (config_.max_grad_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const double* g : grads_) norm_sq += *g * *g;
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.max_grad_norm) {
+      const double scale = config_.max_grad_norm / norm;
+      for (double* g : grads_) *g *= scale;
+    }
+  }
+  ++t_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const double g = *grads_[i];
+    m_[i] = config_.beta1 * m_[i] + (1.0 - config_.beta1) * g;
+    v_[i] = config_.beta2 * v_[i] + (1.0 - config_.beta2) * g * g;
+    const double m_hat = m_[i] / bias1;
+    const double v_hat = v_[i] / bias2;
+    *params_[i] -=
+        config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+  }
+}
+
+}  // namespace explora::ml

@@ -1,0 +1,141 @@
+// A small feed-forward neural network with reverse-mode gradients and an
+// Adam optimizer — enough to train the paper's autoencoder and PPO
+// actor/critic from scratch, with serialization for weight caching.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "ml/matrix.hpp"
+
+namespace explora::ml {
+
+enum class Activation : std::uint8_t { kLinear = 0, kRelu = 1, kTanh = 2 };
+
+/// Applies an activation in place.
+void apply_activation(Activation act, std::span<double> values) noexcept;
+/// Multiplies `grad` in place by the activation derivative, given the
+/// *post-activation* values in `activated`.
+void apply_activation_grad(Activation act, std::span<const double> activated,
+                           std::span<double> grad) noexcept;
+
+/// Numerically stable in-place softmax.
+void softmax(std::span<double> logits) noexcept;
+
+/// Fully-connected layer y = act(Wx + b) with gradient accumulation.
+class DenseLayer {
+ public:
+  /// He/Xavier-style initialization scaled for the activation.
+  DenseLayer(std::size_t in, std::size_t out, Activation act,
+             common::Rng& rng);
+
+  [[nodiscard]] std::size_t in_size() const noexcept { return weights_.cols(); }
+  [[nodiscard]] std::size_t out_size() const noexcept {
+    return weights_.rows();
+  }
+  [[nodiscard]] Activation activation() const noexcept { return act_; }
+
+  /// Forward pass; `out.size() == out_size()`. Caches nothing — the MLP
+  /// owns the activation tape so one layer can serve many passes.
+  void forward(std::span<const double> in, std::span<double> out) const;
+
+  /// Backward pass. `activated` is this layer's forward output for `in`;
+  /// `grad_out` is dL/d(activated) and is clobbered; `grad_in` receives
+  /// dL/d(in). Parameter gradients are accumulated into the grad buffers.
+  void backward(std::span<const double> in, std::span<const double> activated,
+                std::span<double> grad_out, std::span<double> grad_in);
+
+  void zero_grad() noexcept;
+
+  /// Flattened parameter / gradient access for the optimizer.
+  [[nodiscard]] std::size_t parameter_count() const noexcept;
+  void collect_parameters(std::vector<double*>& params,
+                          std::vector<double*>& grads);
+
+  void serialize(common::BinaryWriter& writer) const;
+  void deserialize(common::BinaryReader& reader);
+
+ private:
+  Matrix weights_;
+  Vector bias_;
+  Matrix weight_grad_;
+  Vector bias_grad_;
+  Activation act_;
+};
+
+/// Multi-layer perceptron: a stack of DenseLayers with a forward tape so
+/// backward() can be called right after forward() for the same input.
+class Mlp {
+ public:
+  /// @param layer_sizes sizes including input and output, e.g. {90,32,9}.
+  /// @param hidden activation for all layers but the last.
+  /// @param output activation of the final layer.
+  Mlp(std::vector<std::size_t> layer_sizes, Activation hidden,
+      Activation output, common::Rng& rng);
+
+  [[nodiscard]] std::size_t in_size() const noexcept;
+  [[nodiscard]] std::size_t out_size() const noexcept;
+
+  /// Forward pass recording the activation tape; returns the output.
+  [[nodiscard]] const Vector& forward(std::span<const double> in);
+  /// Forward without touching the tape (thread-compatible inference).
+  void infer(std::span<const double> in, std::span<double> out) const;
+
+  /// Backpropagates dL/d(output) through the recorded tape, accumulating
+  /// parameter gradients; returns dL/d(input).
+  Vector backward(std::span<const double> grad_output);
+
+  void zero_grad() noexcept;
+  [[nodiscard]] std::size_t parameter_count() const noexcept;
+  void collect_parameters(std::vector<double*>& params,
+                          std::vector<double*>& grads);
+
+  void serialize(common::BinaryWriter& writer) const;
+  void deserialize(common::BinaryReader& reader);
+
+ private:
+  std::vector<DenseLayer> layers_;
+  /// tape_[0] = input copy, tape_[i+1] = output of layer i.
+  std::vector<Vector> tape_;
+};
+
+/// Adam optimizer over pointers into one or more networks' parameters.
+class AdamOptimizer {
+ public:
+  struct Config {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double max_grad_norm = 5.0;  ///< global-norm clip; <= 0 disables
+  };
+
+  AdamOptimizer();
+  explicit AdamOptimizer(Config config);
+
+  /// Registers a network's parameters; call once per network before step().
+  void attach(Mlp& network);
+
+  /// One Adam update from the currently accumulated gradients, then zeros
+  /// nothing (callers zero grads when starting the next accumulation).
+  void step();
+
+  void set_learning_rate(double lr) noexcept { config_.learning_rate = lr; }
+  [[nodiscard]] double learning_rate() const noexcept {
+    return config_.learning_rate;
+  }
+
+ private:
+  Config config_;
+  std::vector<double*> params_;
+  std::vector<double*> grads_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace explora::ml

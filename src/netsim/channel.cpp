@@ -1,0 +1,131 @@
+#include "netsim/channel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "netsim/types.hpp"
+
+namespace explora::netsim {
+
+namespace {
+
+// 36.213 Table 7.2.3-1 spectral efficiencies, CQI 1..15.
+constexpr std::array<double, 16> kCqiEfficiency = {
+    0.0,    0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766,
+    1.9141, 2.4063, 2.7305, 3.3223, 3.9023, 4.5234, 5.1152, 5.5547};
+
+// Approximate SINR thresholds [dB] above which each CQI is selected
+// (10% BLER operating points).
+constexpr std::array<double, 16> kCqiSinrThresholdDb = {
+    -100.0, -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9,
+    8.1,    10.3, 11.7, 14.1, 16.3, 18.7, 21.0, 22.7};
+
+constexpr double kSubcarriersPerPrb = 12.0;
+constexpr double kSymbolsPerTti = 14.0;
+constexpr double kOverheadFactor = 0.75;  // PDCCH + DMRS overhead
+
+}  // namespace
+
+std::uint32_t sinr_to_cqi(double sinr_db) noexcept {
+  std::uint32_t cqi = 1;
+  for (std::uint32_t i = 15; i >= 1; --i) {
+    if (sinr_db >= kCqiSinrThresholdDb[i]) {
+      cqi = i;
+      break;
+    }
+  }
+  return cqi;
+}
+
+double cqi_spectral_efficiency(std::uint32_t cqi) noexcept {
+  return cqi <= 15 ? kCqiEfficiency[cqi] : kCqiEfficiency[15];
+}
+
+std::uint32_t cqi_bytes_per_prb(std::uint32_t cqi) noexcept {
+  const double bits = cqi_spectral_efficiency(cqi) * kSubcarriersPerPrb *
+                      kSymbolsPerTti * kOverheadFactor;
+  return static_cast<std::uint32_t>(bits / 8.0);
+}
+
+UeChannel::UeChannel(double distance_m, const ChannelConfig& config,
+                     common::Rng rng)
+    : distance_m_(distance_m), config_(config), rng_(rng) {
+  EXPLORA_EXPECTS(distance_m > 1.0);
+  set_distance(distance_m);
+  if (config_.fading_enabled) {
+    // Warm-start shadowing from its stationary distribution.
+    shadowing_db_ = rng_.normal(0.0, config_.shadowing_sigma_db);
+    fading_gain_ = rng_.exponential(1.0);
+  }
+  refresh_sinr();
+}
+
+void UeChannel::set_distance(double distance_m) {
+  EXPLORA_EXPECTS(distance_m > 1.0);
+  distance_m_ = distance_m;
+  // Log-distance path loss (3GPP macro): 128.1 + 37.6 log10(d/km).
+  const double pl_db = 128.1 + 37.6 * std::log10(distance_m_ / 1000.0);
+  // Noise over one PRB (180 kHz) plus receiver noise figure.
+  const double noise_dbm =
+      -174.0 + 10.0 * std::log10(180e3) + config_.noise_figure_db;
+  // Power is split evenly across the carrier's PRBs.
+  const double tx_per_prb_dbm =
+      config_.tx_power_dbm - 10.0 * std::log10(static_cast<double>(kTotalPrbs));
+  mean_snr_db_ = tx_per_prb_dbm - pl_db - noise_dbm;
+  refresh_sinr();
+}
+
+void UeChannel::set_mobility(const MobilityConfig& mobility) {
+  EXPLORA_EXPECTS(mobility.speed_mps >= 0.0);
+  EXPLORA_EXPECTS(mobility.max_distance_m > mobility.min_distance_m);
+  EXPLORA_EXPECTS(mobility.min_distance_m > 1.0);
+  mobility_ = mobility;
+}
+
+void UeChannel::advance() noexcept {
+  if (mobility_.speed_mps > 0.0 && ++ttis_since_move_ >= 1000) {
+    // One mobility step per simulated second.
+    ttis_since_move_ = 0;
+    double next = distance_m_ + rng_.normal(0.0, mobility_.speed_mps);
+    if (next < mobility_.min_distance_m) {
+      next = 2.0 * mobility_.min_distance_m - next;
+    }
+    if (next > mobility_.max_distance_m) {
+      next = 2.0 * mobility_.max_distance_m - next;
+    }
+    set_distance(std::clamp(next, mobility_.min_distance_m,
+                            mobility_.max_distance_m));
+  }
+  if (!config_.fading_enabled) return;
+  // AR(1) shadowing: rho-correlated Gaussian with stationary sigma.
+  const double innovation_sigma =
+      config_.shadowing_sigma_db *
+      std::sqrt(1.0 - config_.shadowing_rho * config_.shadowing_rho);
+  shadowing_db_ = config_.shadowing_rho * shadowing_db_ +
+                  rng_.normal(0.0, innovation_sigma);
+  if (++ttis_into_block_ >= config_.fading_block_ttis) {
+    ttis_into_block_ = 0;
+    fading_gain_ = rng_.exponential(1.0);  // Rayleigh power gain
+  }
+  refresh_sinr();
+}
+
+void UeChannel::refresh_sinr() noexcept {
+  const double fading_db =
+      10.0 * std::log10(std::max(fading_gain_, 1e-6));
+  sinr_db_ = mean_snr_db_ + shadowing_db_ + fading_db;
+}
+
+std::uint32_t UeChannel::cqi() const noexcept { return sinr_to_cqi(sinr_db_); }
+
+std::uint32_t UeChannel::bytes_per_prb() const noexcept {
+  return cqi_bytes_per_prb(cqi());
+}
+
+double UeChannel::bits_per_prb() const noexcept {
+  return static_cast<double>(bytes_per_prb()) * 8.0;
+}
+
+}  // namespace explora::netsim

@@ -1,0 +1,95 @@
+// Downlink channel model: log-distance path loss, AR(1) log-normal
+// shadowing, and Rayleigh block fading, mapped to CQI and per-PRB transport
+// capacity via the LTE CQI table.
+//
+// The model is deliberately frequency-flat (one SINR per UE per TTI): the
+// schedulers differentiate users by *time-selective* channel quality, which
+// is what drives RR/WF/PF behaviour differences at the slicing granularity
+// EXPLORA observes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "netsim/types.hpp"
+
+namespace explora::netsim {
+
+/// Static link-budget parameters (3GPP-macro-like defaults).
+struct ChannelConfig {
+  double tx_power_dbm = 46.0;        ///< gNB transmit power over the carrier
+  double noise_figure_db = 7.0;      ///< UE receiver noise figure
+  double shadowing_sigma_db = 6.0;   ///< log-normal shadowing std-dev
+  double shadowing_rho = 0.995;      ///< AR(1) correlation per TTI
+  Tick fading_block_ttis = 10;       ///< Rayleigh coherence block [TTI]
+  /// Disable for a deterministic channel (tests, ablations): fading gain
+  /// pins to 1 and shadowing to 0.
+  bool fading_enabled = true;
+};
+
+/// Random-walk mobility along the BS-UE axis: each second the UE drifts
+/// by a bounded Gaussian step, reflecting at the band edges. speed 0
+/// disables movement (the paper's static deployment).
+struct MobilityConfig {
+  double speed_mps = 0.0;      ///< RMS drift speed
+  double min_distance_m = 50.0;
+  double max_distance_m = 3000.0;
+};
+
+/// Per-UE time-varying channel. Advance once per TTI; query SINR/CQI and
+/// the bytes one PRB can carry in the current TTI.
+class UeChannel {
+ public:
+  /// @param distance_m UE-gNB distance in meters (> 1).
+  /// @param config link-budget parameters.
+  /// @param rng dedicated RNG stream for this UE's channel.
+  UeChannel(double distance_m, const ChannelConfig& config,
+            common::Rng rng);
+
+  /// Enables mobility (disabled by default).
+  void set_mobility(const MobilityConfig& mobility);
+
+  /// Evolves shadowing each TTI and redraws fading at block boundaries.
+  void advance() noexcept;
+
+  /// Current post-fading SINR in dB.
+  [[nodiscard]] double sinr_db() const noexcept { return sinr_db_; }
+  /// Current CQI in [1, 15].
+  [[nodiscard]] std::uint32_t cqi() const noexcept;
+  /// Transport-block bytes one PRB carries this TTI at the current CQI.
+  [[nodiscard]] std::uint32_t bytes_per_prb() const noexcept;
+  /// Achievable rate this TTI in bits per PRB (for PF/WF metrics).
+  [[nodiscard]] double bits_per_prb() const noexcept;
+  [[nodiscard]] double distance_m() const noexcept { return distance_m_; }
+
+  /// Moves the UE to a new distance (mobility / scenario changes).
+  void set_distance(double distance_m);
+
+ private:
+  void refresh_sinr() noexcept;
+
+  double distance_m_;
+  ChannelConfig config_;
+  common::Rng rng_;
+  double mean_snr_db_ = 0.0;     ///< distance-dependent component
+  double shadowing_db_ = 0.0;    ///< AR(1) state
+  double fading_gain_ = 1.0;     ///< Rayleigh power gain, per block
+  double sinr_db_ = 0.0;
+  std::int64_t ttis_into_block_ = 0;
+  MobilityConfig mobility_{};
+  std::int64_t ttis_since_move_ = 0;
+};
+
+/// Maps SINR [dB] to CQI index 1..15 (LTE 4-bit CQI, SINR thresholds from
+/// the standard link-level curves).
+[[nodiscard]] std::uint32_t sinr_to_cqi(double sinr_db) noexcept;
+
+/// Spectral efficiency [bits/symbol] for a CQI index 1..15 (36.213 Table
+/// 7.2.3-1). Index 0 (out of range) reports 0.
+[[nodiscard]] double cqi_spectral_efficiency(std::uint32_t cqi) noexcept;
+
+/// Transport-block bytes carried by a single PRB in one TTI at `cqi`:
+/// 12 subcarriers x 14 symbols, minus ~25% control/reference overhead.
+[[nodiscard]] std::uint32_t cqi_bytes_per_prb(std::uint32_t cqi) noexcept;
+
+}  // namespace explora::netsim

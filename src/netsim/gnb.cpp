@@ -1,0 +1,90 @@
+#include "netsim/gnb.hpp"
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace explora::netsim {
+
+Gnb::Gnb(std::vector<std::unique_ptr<Ue>> ues, GnbConfig config)
+    : ues_(std::move(ues)), config_(config) {
+  EXPLORA_EXPECTS(!ues_.empty());
+  EXPLORA_EXPECTS(config_.report_period_ttis > 0);
+  rebuild_slice_index();
+  // Default control: even-ish split, round robin everywhere.
+  SlicingControl initial;
+  initial.prbs = {18, 15, 17};
+  initial.scheduling = {SchedulerPolicy::kRoundRobin,
+                        SchedulerPolicy::kRoundRobin,
+                        SchedulerPolicy::kRoundRobin};
+  apply_control(initial);
+}
+
+void Gnb::rebuild_slice_index() {
+  for (auto& list : slice_ues_) list.clear();
+  for (const auto& ue : ues_) {
+    slice_ues_[static_cast<std::size_t>(ue->slice())].push_back(ue.get());
+  }
+}
+
+void Gnb::apply_control(const SlicingControl& control) {
+  const std::uint32_t total =
+      std::accumulate(control.prbs.begin(), control.prbs.end(), 0u);
+  EXPLORA_EXPECTS(total <= kTotalPrbs);
+  for (std::size_t s = 0; s < kNumSlices; ++s) {
+    if (schedulers_[s] == nullptr ||
+        schedulers_[s]->policy() != control.scheduling[s]) {
+      schedulers_[s] = make_scheduler(control.scheduling[s], config_.pf_alpha);
+    }
+  }
+  control_ = control;
+}
+
+void Gnb::run_tti() {
+  for (auto& ue : ues_) ue->begin_tti(now_);
+  for (std::size_t s = 0; s < kNumSlices; ++s) {
+    auto& ues = slice_ues_[s];
+    if (ues.empty()) continue;
+    schedulers_[s]->schedule_tti(std::span<Ue*>(ues), control_.prbs[s]);
+  }
+  ++now_;
+}
+
+KpiReport Gnb::run_report_window() {
+  for (Tick i = 0; i < config_.report_period_ttis; ++i) run_tti();
+
+  KpiReport report;
+  report.window_end = now_;
+  const double window_seconds =
+      static_cast<double>(config_.report_period_ttis) / 1000.0;
+  for (std::size_t s = 0; s < kNumSlices; ++s) {
+    auto& slice_report = report.slices[s];
+    for (Ue* ue : slice_ues_[s]) {
+      const UeWindowCounters counters = ue->harvest_window();
+      slice_report.tx_bitrate_mbps.push_back(
+          static_cast<double>(counters.tx_bytes) * 8.0 / window_seconds /
+          1e6);
+      slice_report.tx_packets.push_back(
+          static_cast<double>(counters.tx_packets));
+      slice_report.buffer_bytes.push_back(
+          static_cast<double>(ue->buffer_bytes()));
+    }
+  }
+  return report;
+}
+
+bool Gnb::detach_one_ue(Slice slice) {
+  const auto slice_index = static_cast<std::size_t>(slice);
+  if (slice_ues_[slice_index].empty()) return false;
+  const Ue* victim = slice_ues_[slice_index].back();
+  for (auto it = ues_.begin(); it != ues_.end(); ++it) {
+    if (it->get() == victim) {
+      ues_.erase(it);
+      break;
+    }
+  }
+  rebuild_slice_index();
+  return true;
+}
+
+}  // namespace explora::netsim

@@ -1,0 +1,69 @@
+// The gNB MAC model: owns the UEs, enforces the current slicing/scheduling
+// control, advances TTIs and emits KPI reports. This is the "RAN node"
+// endpoint of the E2 interface in the O-RAN layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netsim/kpi.hpp"
+#include "netsim/scheduler.hpp"
+#include "netsim/types.hpp"
+#include "netsim/ue.hpp"
+
+namespace explora::netsim {
+
+/// gNB runtime parameters.
+struct GnbConfig {
+  Tick report_period_ttis = 25;  ///< E2 KPM indication cadence
+  double pf_alpha = 0.05;        ///< PF scheduler EWMA factor
+};
+
+class Gnb {
+ public:
+  /// @param ues the attached users (takes ownership; at least one).
+  /// @param config runtime parameters.
+  Gnb(std::vector<std::unique_ptr<Ue>> ues, GnbConfig config = {});
+
+  /// Applies a new slicing + scheduling control. PRBs must not exceed the
+  /// carrier total; scheduler state is retained when the policy for a slice
+  /// is unchanged (so PF averages survive pure-slicing updates).
+  void apply_control(const SlicingControl& control);
+
+  [[nodiscard]] const SlicingControl& control() const noexcept {
+    return control_;
+  }
+
+  /// Advances one TTI: traffic arrivals, channel evolution, per-slice
+  /// scheduling under the current control.
+  void run_tti();
+
+  /// Runs exactly one report window (config.report_period_ttis TTIs) and
+  /// returns the harvested KPI report.
+  [[nodiscard]] KpiReport run_report_window();
+
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t num_ues() const noexcept { return ues_.size(); }
+  /// UEs of one slice (slice-local ordering is construction order).
+  [[nodiscard]] const std::vector<Ue*>& slice_ues(Slice slice) const {
+    return slice_ues_[static_cast<std::size_t>(slice)];
+  }
+
+  /// Detaches the last-attached UE of `slice` (used by the action-steering
+  /// experiments where the user count drops mid-run). Returns false when
+  /// the slice has no users.
+  bool detach_one_ue(Slice slice);
+
+ private:
+  std::vector<std::unique_ptr<Ue>> ues_;
+  PerSlice<std::vector<Ue*>> slice_ues_{};
+  PerSlice<std::unique_ptr<Scheduler>> schedulers_{};
+  SlicingControl control_{};
+  GnbConfig config_;
+  Tick now_ = 0;
+
+  void rebuild_slice_index();
+};
+
+}  // namespace explora::netsim

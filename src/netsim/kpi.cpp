@@ -1,0 +1,18 @@
+#include "netsim/kpi.hpp"
+
+#include <numeric>
+
+namespace explora::netsim {
+
+double SliceKpiReport::aggregate(Kpi kpi) const {
+  const std::vector<double>* values = nullptr;
+  switch (kpi) {
+    case Kpi::kTxBitrate: values = &tx_bitrate_mbps; break;
+    case Kpi::kTxPackets: values = &tx_packets; break;
+    case Kpi::kBufferSize: values = &buffer_bytes; break;
+  }
+  if (values == nullptr) return 0.0;
+  return std::accumulate(values->begin(), values->end(), 0.0);
+}
+
+}  // namespace explora::netsim

@@ -1,0 +1,35 @@
+// KPI report structures: the per-slice, per-UE measurements carried by E2
+// KPM indications. One report covers one E2 report window (25 TTIs by
+// default), and M = 10 consecutive reports form the DRL input matrix I.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/types.hpp"
+
+namespace explora::netsim {
+
+/// Measurements for one slice in one report window. Vectors are indexed by
+/// the slice-local UE position (stable across a run).
+struct SliceKpiReport {
+  std::vector<double> tx_bitrate_mbps;      ///< per-UE DL bitrate
+  std::vector<double> tx_packets;           ///< per-UE packets completed
+  std::vector<double> buffer_bytes;         ///< per-UE buffer at window end
+
+  /// Slice-aggregate value of one KPI (sum over the slice's UEs).
+  [[nodiscard]] double aggregate(Kpi kpi) const;
+};
+
+/// One E2 report: all slices, one window.
+struct KpiReport {
+  Tick window_end = 0;                      ///< TTI at which the window closed
+  PerSlice<SliceKpiReport> slices{};
+
+  /// Slice-aggregate accessor used throughout EXPLORA.
+  [[nodiscard]] double value(Kpi kpi, Slice slice) const {
+    return slices[static_cast<std::size_t>(slice)].aggregate(kpi);
+  }
+};
+
+}  // namespace explora::netsim

@@ -1,0 +1,72 @@
+#include "netsim/scenario.hpp"
+
+#include <algorithm>
+
+#include "common/format.hpp"
+
+#include "common/contracts.hpp"
+
+namespace explora::netsim {
+
+std::string ScenarioConfig::name() const {
+  return common::format("{}-{}u(e{}/m{}/u{})-seed{}", to_string(profile),
+                     total_users(), users_per_slice[0], users_per_slice[1],
+                     users_per_slice[2], seed);
+}
+
+PerSlice<std::uint32_t> users_for_count(std::uint32_t total,
+                                        std::optional<Slice> single_user_slice) {
+  switch (total) {
+    case 6: return {2, 2, 2};
+    case 5: return {2, 1, 2};
+    case 4: return {1, 1, 2};
+    case 3: return {1, 1, 1};
+    case 2: return {1, 0, 1};
+    case 1: {
+      EXPLORA_EXPECTS(single_user_slice.has_value());
+      PerSlice<std::uint32_t> users{0, 0, 0};
+      users[static_cast<std::size_t>(*single_user_slice)] = 1;
+      return users;
+    }
+    default:
+      break;
+  }
+  EXPLORA_EXPECTS(false && "user counts follow the paper's Table 3 (1..6)");
+  return {};
+}
+
+std::unique_ptr<Gnb> make_gnb(const ScenarioConfig& config) {
+  EXPLORA_EXPECTS(config.total_users() > 0);
+  EXPLORA_EXPECTS(config.max_distance_m > config.min_distance_m);
+
+  common::Rng master(config.seed);
+  common::Rng placement = master.fork("placement");
+
+  std::vector<std::unique_ptr<Ue>> ues;
+  std::uint32_t next_id = 0;
+  const ChannelConfig channel_config{};
+  for (std::size_t s = 0; s < kNumSlices; ++s) {
+    const auto slice = static_cast<Slice>(s);
+    for (std::uint32_t u = 0; u < config.users_per_slice[s]; ++u) {
+      const double distance =
+          placement.uniform(config.min_distance_m, config.max_distance_m);
+      UeChannel channel(distance, channel_config,
+                        master.fork(common::format("chan-{}", next_id)));
+      if (config.mobility_speed_mps > 0.0) {
+        MobilityConfig mobility;
+        mobility.speed_mps = config.mobility_speed_mps;
+        mobility.min_distance_m = std::max(50.0, config.min_distance_m / 2.0);
+        mobility.max_distance_m = config.max_distance_m * 1.5;
+        channel.set_mobility(mobility);
+      }
+      auto traffic = make_traffic_source(
+          config.profile, slice, master.fork(common::format("trf-{}", next_id)));
+      ues.push_back(std::make_unique<Ue>(next_id, slice, std::move(channel),
+                                         std::move(traffic)));
+      ++next_id;
+    }
+  }
+  return std::make_unique<Gnb>(std::move(ues), config.gnb);
+}
+
+}  // namespace explora::netsim

@@ -1,0 +1,129 @@
+#include "netsim/scheduler.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace explora::netsim {
+
+namespace {
+
+/// Serves one PRB worth of data to a UE; returns bytes actually sent.
+std::uint64_t serve_one_prb(Ue& ue) {
+  return ue.serve(ue.channel().bytes_per_prb());
+}
+
+/// Collects the subset of UEs with buffered data.
+std::vector<Ue*> backlogged(std::span<Ue*> ues) {
+  std::vector<Ue*> out;
+  out.reserve(ues.size());
+  for (Ue* ue : ues) {
+    EXPLORA_EXPECTS(ue != nullptr);
+    if (ue->has_data()) out.push_back(ue);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerPolicy policy,
+                                          double pf_alpha) {
+  switch (policy) {
+    case SchedulerPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerPolicy::kWaterfilling:
+      return std::make_unique<WaterfillingScheduler>();
+    case SchedulerPolicy::kProportionalFair:
+      return std::make_unique<ProportionalFairScheduler>(pf_alpha);
+  }
+  EXPLORA_ASSERT(false);
+  return nullptr;
+}
+
+void RoundRobinScheduler::schedule_tti(std::span<Ue*> ues,
+                                       std::uint32_t prb_budget) {
+  auto active = backlogged(ues);
+  if (active.empty() || prb_budget == 0) return;
+  // Rotate the starting user so the head position does not systematically
+  // favour low UE ids when the budget is not a multiple of the user count.
+  next_ %= active.size();
+  std::size_t cursor = next_;
+  std::uint32_t remaining = prb_budget;
+  // Cycle until the budget is spent or nobody has data left.
+  std::size_t idle_passes = 0;
+  while (remaining > 0 && idle_passes < active.size()) {
+    Ue& ue = *active[cursor];
+    cursor = (cursor + 1) % active.size();
+    if (!ue.has_data()) {
+      ++idle_passes;
+      continue;
+    }
+    idle_passes = 0;
+    serve_one_prb(ue);
+    --remaining;
+  }
+  next_ = (next_ + 1) % active.size();
+}
+
+void WaterfillingScheduler::schedule_tti(std::span<Ue*> ues,
+                                         std::uint32_t prb_budget) {
+  auto active = backlogged(ues);
+  if (active.empty() || prb_budget == 0) return;
+  // Strongest channel first; ties broken by UE id for determinism.
+  std::sort(active.begin(), active.end(), [](const Ue* a, const Ue* b) {
+    if (a->channel().sinr_db() != b->channel().sinr_db()) {
+      return a->channel().sinr_db() > b->channel().sinr_db();
+    }
+    return a->id() < b->id();
+  });
+  std::uint32_t remaining = prb_budget;
+  for (Ue* ue : active) {
+    while (remaining > 0 && ue->has_data()) {
+      serve_one_prb(*ue);
+      --remaining;
+    }
+    if (remaining == 0) break;
+  }
+}
+
+ProportionalFairScheduler::ProportionalFairScheduler(double alpha)
+    : alpha_(alpha) {
+  EXPLORA_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+void ProportionalFairScheduler::schedule_tti(std::span<Ue*> ues,
+                                             std::uint32_t prb_budget) {
+  auto active = backlogged(ues);
+  std::vector<double> served_bits(active.size(), 0.0);
+  if (!active.empty() && prb_budget > 0) {
+    std::uint32_t remaining = prb_budget;
+    while (remaining > 0) {
+      // Pick the user with the best instantaneous-rate / average ratio.
+      double best_metric = -1.0;
+      std::size_t best = active.size();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!active[i]->has_data()) continue;
+        const double inst = active[i]->channel().bits_per_prb();
+        const double avg = std::max(active[i]->pf_average(), 1e-3);
+        const double metric = inst / avg;
+        if (metric > best_metric) {
+          best_metric = metric;
+          best = i;
+        }
+      }
+      if (best == active.size()) break;  // all drained
+      const std::uint64_t sent = serve_one_prb(*active[best]);
+      served_bits[best] += static_cast<double>(sent) * 8.0;
+      --remaining;
+    }
+  }
+  // EWMA update for every tracked user, including the unserved ones (their
+  // average decays, raising future priority) — standard PF bookkeeping.
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    double& avg = active[i]->pf_average();
+    avg = (1.0 - alpha_) * avg + alpha_ * served_bits[i];
+  }
+}
+
+}  // namespace explora::netsim

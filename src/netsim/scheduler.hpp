@@ -1,0 +1,74 @@
+// Per-slice MAC schedulers: Round-Robin, Waterfilling and Proportional
+// Fair. Each scheduler distributes the slice's PRB budget among the slice's
+// backlogged UEs for one TTI.
+//
+// - RR cycles a pointer over backlogged users, ignoring channel state.
+// - WF is throughput-greedy: PRBs go to the users with the best channel
+//   (the discrete-resource analogue of power waterfilling), draining the
+//   strongest links first.
+// - PF ranks users by instantaneous-rate / EWMA-served-rate, trading
+//   throughput against long-run fairness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "netsim/types.hpp"
+#include "netsim/ue.hpp"
+
+namespace explora::netsim {
+
+/// Strategy interface: allocate `prb_budget` PRBs among `ues` (all from one
+/// slice) for the current TTI and serve their buffers.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Runs one TTI. Implementations must serve at most `prb_budget` PRBs and
+  /// only touch UEs with buffered data.
+  virtual void schedule_tti(std::span<Ue*> ues, std::uint32_t prb_budget) = 0;
+
+  [[nodiscard]] virtual SchedulerPolicy policy() const noexcept = 0;
+};
+
+/// Factory keyed by policy; `pf_alpha` is the PF EWMA smoothing factor.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    SchedulerPolicy policy, double pf_alpha = 0.05);
+
+/// Round-robin PRB allocation over backlogged users.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  void schedule_tti(std::span<Ue*> ues, std::uint32_t prb_budget) override;
+  [[nodiscard]] SchedulerPolicy policy() const noexcept override {
+    return SchedulerPolicy::kRoundRobin;
+  }
+
+ private:
+  std::size_t next_ = 0;  ///< rotating start offset for fairness
+};
+
+/// Channel-greedy ("waterfilling") allocation: best CQI first.
+class WaterfillingScheduler final : public Scheduler {
+ public:
+  void schedule_tti(std::span<Ue*> ues, std::uint32_t prb_budget) override;
+  [[nodiscard]] SchedulerPolicy policy() const noexcept override {
+    return SchedulerPolicy::kWaterfilling;
+  }
+};
+
+/// Proportional-fair allocation with EWMA throughput tracking.
+class ProportionalFairScheduler final : public Scheduler {
+ public:
+  explicit ProportionalFairScheduler(double alpha = 0.05);
+
+  void schedule_tti(std::span<Ue*> ues, std::uint32_t prb_budget) override;
+  [[nodiscard]] SchedulerPolicy policy() const noexcept override {
+    return SchedulerPolicy::kProportionalFair;
+  }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace explora::netsim

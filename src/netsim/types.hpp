@@ -1,0 +1,84 @@
+// Core domain types for the downlink RAN simulator: slices, schedulers,
+// KPIs, and the multi-modal slicing/scheduling control action that the DRL
+// agent (and EXPLORA) manipulate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace explora::netsim {
+
+/// One TTI (transmission time interval) is 1 ms of simulated time.
+using Tick = std::int64_t;
+
+/// Network slices, in the paper's fixed order (indices into all per-slice
+/// arrays throughout the project).
+enum class Slice : std::uint8_t { kEmbb = 0, kMmtc = 1, kUrllc = 2 };
+
+inline constexpr std::size_t kNumSlices = 3;
+
+/// Per-slice MAC scheduling policies selectable by the agent. The numeric
+/// values match the paper's encoding (Appendix B): 0 = RR, 1 = WF, 2 = PF.
+enum class SchedulerPolicy : std::uint8_t {
+  kRoundRobin = 0,
+  kWaterfilling = 1,
+  kProportionalFair = 2,
+};
+
+inline constexpr std::size_t kNumSchedulerPolicies = 3;
+
+/// The K = 3 KPIs monitored over E2 (paper §3.1).
+enum class Kpi : std::uint8_t {
+  kTxBitrate = 0,     ///< downlink transmission bitrate [Mbit/s]
+  kTxPackets = 1,     ///< packets fully transmitted in the report window
+  kBufferSize = 2,    ///< downlink RLC buffer occupancy [bytes]
+};
+
+inline constexpr std::size_t kNumKpis = 3;
+
+/// Total PRBs of the 10 MHz carrier (50 PRBs at 15 kHz subcarrier spacing).
+inline constexpr std::uint32_t kTotalPrbs = 50;
+
+[[nodiscard]] std::string to_string(Slice s);
+[[nodiscard]] std::string to_string(SchedulerPolicy p);
+[[nodiscard]] std::string to_string(Kpi k);
+
+/// Per-slice array helper.
+template <typename T>
+using PerSlice = std::array<T, kNumSlices>;
+
+/// The c = 2 multi-modal control action: a RAN slicing policy (PRBs per
+/// slice) and a per-slice scheduling policy. This is the unit the DRL xApp
+/// emits over E2 and the node identity in EXPLORA's attributed graph.
+struct SlicingControl {
+  PerSlice<std::uint32_t> prbs{};              ///< PRBs reserved per slice
+  PerSlice<SchedulerPolicy> scheduling{};      ///< scheduler per slice
+
+  friend bool operator==(const SlicingControl&,
+                         const SlicingControl&) = default;
+  /// Renders like the paper's node labels: ([36, 3, 11], [2, 0, 1]).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Strict weak ordering so SlicingControl can key ordered containers.
+[[nodiscard]] bool operator<(const SlicingControl& a, const SlicingControl& b);
+
+/// FNV-1a hash over the action fields for unordered containers.
+struct SlicingControlHash {
+  [[nodiscard]] std::size_t operator()(const SlicingControl& a) const noexcept;
+};
+
+/// The catalogue of valid PRB partitions the DRL agent chooses from (the
+/// first mode of the action). Mirrors ColO-RAN's discrete slicing profiles:
+/// every entry sums to kTotalPrbs and reserves at least a minimal share per
+/// slice. Deterministic and sorted, so an index into this catalogue is a
+/// stable action encoding.
+[[nodiscard]] const std::vector<PerSlice<std::uint32_t>>& prb_catalog();
+
+/// Index of `prbs` in prb_catalog(); throws std::out_of_range when absent.
+[[nodiscard]] std::size_t prb_catalog_index(
+    const PerSlice<std::uint32_t>& prbs);
+
+}  // namespace explora::netsim

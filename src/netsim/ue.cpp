@@ -1,0 +1,62 @@
+#include "netsim/ue.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace explora::netsim {
+
+Ue::Ue(std::uint32_t id, Slice slice, UeChannel channel,
+       std::unique_ptr<TrafficSource> traffic,
+       std::uint64_t buffer_capacity_bytes)
+    : id_(id),
+      slice_(slice),
+      channel_(std::move(channel)),
+      traffic_(std::move(traffic)),
+      buffer_capacity_(buffer_capacity_bytes) {
+  EXPLORA_EXPECTS(traffic_ != nullptr);
+  EXPLORA_EXPECTS(buffer_capacity_bytes > 0);
+}
+
+void Ue::begin_tti(Tick now) {
+  channel_.advance();
+  const ArrivalBatch batch = traffic_->arrivals(now);
+  if (batch.packets == 0) return;
+  const std::uint32_t packet_size =
+      static_cast<std::uint32_t>(batch.bytes / batch.packets);
+  for (std::uint32_t i = 0; i < batch.packets; ++i) {
+    if (buffer_bytes_ + packet_size > buffer_capacity_) {
+      window_.dropped_bytes += packet_size;
+      continue;
+    }
+    packet_queue_.push_back(packet_size);
+    buffer_bytes_ += packet_size;
+  }
+}
+
+std::uint64_t Ue::serve(std::uint64_t bytes) {
+  std::uint64_t served = 0;
+  while (bytes > 0 && !packet_queue_.empty()) {
+    std::uint32_t& head = packet_queue_.front();
+    const std::uint64_t take = std::min<std::uint64_t>(bytes, head);
+    head -= static_cast<std::uint32_t>(take);
+    bytes -= take;
+    served += take;
+    if (head == 0) {
+      packet_queue_.pop_front();
+      ++window_.tx_packets;
+    }
+  }
+  EXPLORA_ASSERT(served <= buffer_bytes_);
+  buffer_bytes_ -= served;
+  window_.tx_bytes += served;
+  return served;
+}
+
+UeWindowCounters Ue::harvest_window() noexcept {
+  const UeWindowCounters out = window_;
+  window_ = UeWindowCounters{};
+  return out;
+}
+
+}  // namespace explora::netsim

@@ -1,0 +1,62 @@
+#include "oran/a1.hpp"
+
+#include "common/contracts.hpp"
+
+namespace explora::oran {
+
+std::string to_string(A1Intent intent) {
+  switch (intent) {
+    case A1Intent::kObserveOnly: return "observe-only";
+    case A1Intent::kMaxReward: return "max-reward";
+    case A1Intent::kMinReward: return "min-reward";
+    case A1Intent::kImproveBitrate: return "improve-bitrate";
+  }
+  return "?";
+}
+
+QosIntentRapp::QosIntentRapp() : QosIntentRapp(Config{}) {}
+
+QosIntentRapp::QosIntentRapp(Config config) : config_(config) {
+  EXPLORA_EXPECTS(config.embb_bitrate_floor_mbps >= 0.0);
+  EXPLORA_EXPECTS(config.urllc_buffer_ceiling_bytes >= 0.0);
+}
+
+A1Intent QosIntentRapp::evaluate(double embb_bitrate_median_mbps,
+                                 double urllc_buffer_p90_bytes) const {
+  if (urllc_buffer_p90_bytes > config_.urllc_buffer_ceiling_bytes) {
+    return A1Intent::kMinReward;  // protect URLLC latency first
+  }
+  if (embb_bitrate_median_mbps < config_.embb_bitrate_floor_mbps) {
+    return A1Intent::kImproveBitrate;
+  }
+  return A1Intent::kObserveOnly;
+}
+
+NonRtRic::NonRtRic(QosIntentRapp rapp) : rapp_(std::move(rapp)) {}
+
+void NonRtRic::attach_consumer(A1PolicyConsumer& consumer) {
+  consumer_ = &consumer;
+  if (current_policy_.has_value()) {
+    consumer_->on_a1_policy(*current_policy_);
+  }
+}
+
+void NonRtRic::issue(A1Intent intent) {
+  A1Policy policy;
+  policy.policy_id = ++policies_issued_;
+  policy.intent = intent;
+  policy.observation_window = rapp_.config().observation_window;
+  current_policy_ = policy;
+  if (consumer_ != nullptr) consumer_->on_a1_policy(policy);
+}
+
+void NonRtRic::report_kpi_summary(double embb_bitrate_median_mbps,
+                                  double urllc_buffer_p90_bytes) {
+  const A1Intent intent =
+      rapp_.evaluate(embb_bitrate_median_mbps, urllc_buffer_p90_bytes);
+  if (!current_policy_.has_value() || current_policy_->intent != intent) {
+    issue(intent);
+  }
+}
+
+}  // namespace explora::oran

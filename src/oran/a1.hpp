@@ -1,0 +1,100 @@
+// The A1 interface and a minimal non-real-time RIC (Fig. 1 of the paper):
+// the non-RT RIC watches long-term KPI summaries and pushes policy-based
+// guidance — here, the operator *intent* that selects EXPLORA's steering
+// strategy (§4.4: "previously identified intents to be fulfilled").
+//
+// A1 is a direct management interface between the two RICs (not an
+// RMR-routed RAN message), so policies are delivered through the
+// A1PolicyConsumer callback rather than the message router.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace explora::oran {
+
+/// High-level intents an operator can express; these map 1:1 onto
+/// EXPLORA's EDBR strategies (plus observe-only).
+enum class A1Intent : std::uint8_t {
+  kObserveOnly = 0,     ///< explanations only, no action changes
+  kMaxReward = 1,       ///< AR 1
+  kMinReward = 2,       ///< AR 2
+  kImproveBitrate = 3,  ///< AR 3
+};
+
+[[nodiscard]] std::string to_string(A1Intent intent);
+
+/// One A1 policy instance.
+struct A1Policy {
+  std::uint64_t policy_id = 0;
+  A1Intent intent = A1Intent::kObserveOnly;
+  /// Observation window O handed to the steering strategy.
+  std::size_t observation_window = 10;
+};
+
+/// Near-RT-side A1 termination: anything that accepts policy guidance.
+class A1PolicyConsumer {
+ public:
+  virtual ~A1PolicyConsumer() = default;
+  virtual void on_a1_policy(const A1Policy& policy) = 0;
+};
+
+/// A QoS-guard rApp: derives the intent from long-term KPI summaries.
+/// When the URLLC buffer tail exceeds its ceiling, latency protection
+/// (AR 2) wins; otherwise, when the eMBB bitrate median drops below its
+/// floor, throughput recovery (AR 3) kicks in; else observe only.
+class QosIntentRapp {
+ public:
+  struct Config {
+    double embb_bitrate_floor_mbps = 3.0;
+    double urllc_buffer_ceiling_bytes = 50'000.0;
+    std::size_t observation_window = 10;
+  };
+
+  QosIntentRapp();
+  explicit QosIntentRapp(Config config);
+
+  [[nodiscard]] A1Intent evaluate(double embb_bitrate_median_mbps,
+                                  double urllc_buffer_p90_bytes) const;
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Minimal non-RT RIC: hosts the rApp, aggregates KPI summaries arriving
+/// over the O1-like reporting path, and pushes an A1 policy whenever the
+/// derived intent changes.
+class NonRtRic {
+ public:
+  explicit NonRtRic(QosIntentRapp rapp = QosIntentRapp{});
+
+  /// Connects the near-RT consumer (e.g. the EXPLORA xApp). The current
+  /// policy, if any, is re-announced on attach.
+  void attach_consumer(A1PolicyConsumer& consumer);
+
+  /// Feeds one long-term KPI summary (aggregated by the SMO/O1 path);
+  /// may emit an A1 policy update.
+  void report_kpi_summary(double embb_bitrate_median_mbps,
+                          double urllc_buffer_p90_bytes);
+
+  [[nodiscard]] std::optional<A1Policy> current_policy() const noexcept {
+    return current_policy_;
+  }
+  [[nodiscard]] std::uint64_t policies_issued() const noexcept {
+    return policies_issued_;
+  }
+
+ private:
+  void issue(A1Intent intent);
+
+  QosIntentRapp rapp_;
+  A1PolicyConsumer* consumer_ = nullptr;
+  std::optional<A1Policy> current_policy_;
+  std::uint64_t policies_issued_ = 0;
+};
+
+}  // namespace explora::oran

@@ -1,0 +1,100 @@
+#include "oran/codec.hpp"
+
+#include "common/serialize.hpp"
+
+namespace explora::oran {
+
+namespace {
+
+constexpr std::uint64_t kWireMagic = 0x453241502d4d5347ULL;  // "E2AP-MSG"
+constexpr std::uint32_t kWireVersion = 1;
+
+void write_report(common::BinaryWriter& writer,
+                  const netsim::KpiReport& report) {
+  writer.write_i64(report.window_end);
+  for (const auto& slice : report.slices) {
+    writer.write_f64_vector(slice.tx_bitrate_mbps);
+    writer.write_f64_vector(slice.tx_packets);
+    writer.write_f64_vector(slice.buffer_bytes);
+  }
+}
+
+[[nodiscard]] netsim::KpiReport read_report(common::BinaryReader& reader) {
+  netsim::KpiReport report;
+  report.window_end = reader.read_i64();
+  for (auto& slice : report.slices) {
+    slice.tx_bitrate_mbps = reader.read_f64_vector();
+    slice.tx_packets = reader.read_f64_vector();
+    slice.buffer_bytes = reader.read_f64_vector();
+  }
+  return report;
+}
+
+void write_control(common::BinaryWriter& writer,
+                   const netsim::SlicingControl& control) {
+  for (auto prbs : control.prbs) writer.write_u32(prbs);
+  for (auto policy : control.scheduling) {
+    writer.write_u32(static_cast<std::uint32_t>(policy));
+  }
+}
+
+[[nodiscard]] netsim::SlicingControl read_control(
+    common::BinaryReader& reader) {
+  netsim::SlicingControl control;
+  for (auto& prbs : control.prbs) prbs = reader.read_u32();
+  for (auto& policy : control.scheduling) {
+    const auto raw = reader.read_u32();
+    if (raw >= netsim::kNumSchedulerPolicies) {
+      throw common::SerializeError("invalid scheduler policy on the wire");
+    }
+    policy = static_cast<netsim::SchedulerPolicy>(raw);
+  }
+  return control;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const RicMessage& message) {
+  common::BinaryWriter writer(kWireMagic, kWireVersion);
+  writer.write_u32(static_cast<std::uint32_t>(message.type));
+  writer.write_string(message.sender);
+  switch (message.type) {
+    case MessageType::kKpmIndication:
+      write_report(writer, message.kpm().report);
+      break;
+    case MessageType::kRanControl:
+      write_control(writer, message.ran_control().control);
+      writer.write_u64(message.ran_control().decision_id);
+      break;
+  }
+  return writer.buffer();
+}
+
+RicMessage decode_message(const std::vector<std::uint8_t>& wire) {
+  common::BinaryReader reader(wire, kWireMagic, kWireVersion);
+  const auto raw_type = reader.read_u32();
+  if (raw_type > static_cast<std::uint32_t>(MessageType::kRanControl)) {
+    throw common::SerializeError("unknown RIC message type on the wire");
+  }
+  RicMessage message;
+  message.type = static_cast<MessageType>(raw_type);
+  message.sender = reader.read_string();
+  switch (message.type) {
+    case MessageType::kKpmIndication:
+      message.payload = KpmIndication{read_report(reader)};
+      break;
+    case MessageType::kRanControl: {
+      RanControl control;
+      control.control = read_control(reader);
+      control.decision_id = reader.read_u64();
+      message.payload = control;
+      break;
+    }
+  }
+  if (!reader.at_end()) {
+    throw common::SerializeError("trailing bytes after RIC message");
+  }
+  return message;
+}
+
+}  // namespace explora::oran

@@ -1,0 +1,24 @@
+// Wire codec for RIC messages: a compact binary framing standing in for
+// the E2AP/ASN.1 encoding a production RIC uses on the wire. The
+// in-process router passes RicMessage by value; this codec exists for the
+// boundaries where messages leave the process (persistence, cross-process
+// xApps, trace capture) and as the reference for the message grammar.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oran/messages.hpp"
+
+namespace explora::oran {
+
+/// Serializes a message to its wire form (framed, versioned).
+[[nodiscard]] std::vector<std::uint8_t> encode_message(
+    const RicMessage& message);
+
+/// Parses a wire-form message; throws common::SerializeError on malformed,
+/// truncated or version-mismatched input.
+[[nodiscard]] RicMessage decode_message(
+    const std::vector<std::uint8_t>& wire);
+
+}  // namespace explora::oran

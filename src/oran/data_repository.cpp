@@ -1,0 +1,34 @@
+#include "oran/data_repository.hpp"
+
+#include "common/contracts.hpp"
+
+namespace explora::oran {
+
+DataRepository::DataRepository(std::size_t history_capacity)
+    : capacity_(history_capacity) {
+  EXPLORA_EXPECTS(history_capacity > 0);
+}
+
+void DataRepository::on_message(const RicMessage& message) {
+  if (message.type != MessageType::kKpmIndication) return;
+  reports_.push_back(message.kpm().report);
+  while (reports_.size() > capacity_) reports_.pop_front();
+}
+
+std::vector<netsim::KpiReport> DataRepository::latest_reports(
+    std::size_t count) const {
+  const std::size_t available = std::min(count, reports_.size());
+  std::vector<netsim::KpiReport> out;
+  out.reserve(available);
+  for (std::size_t i = reports_.size() - available; i < reports_.size();
+       ++i) {
+    out.push_back(reports_[i]);
+  }
+  return out;
+}
+
+void DataRepository::store_explanation(ExplanationRecord record) {
+  explanations_.push_back(std::move(record));
+}
+
+}  // namespace explora::oran

@@ -1,0 +1,62 @@
+// The RIC's data repository plus its data-access microservice facade
+// (Fig. 6): stores E2 KPI history for xApps to query, and archives the
+// (state, action, explanation) tuples the EXPLORA xApp produces for later
+// quality assurance / dataset generation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "netsim/kpi.hpp"
+#include "oran/rmr.hpp"
+
+namespace explora::oran {
+
+/// One archived explanation record (paper §5.1).
+struct ExplanationRecord {
+  std::uint64_t decision_id = 0;
+  netsim::SlicingControl proposed;   ///< action suggested by the DRL agent
+  netsim::SlicingControl enforced;   ///< action actually sent to the RAN
+  bool replaced = false;
+  std::string explanation;           ///< human-readable rationale
+};
+
+class DataRepository final : public RmrEndpoint {
+ public:
+  /// @param history_capacity maximum retained KPI reports (ring buffer).
+  explicit DataRepository(std::size_t history_capacity = 8192);
+
+  [[nodiscard]] std::string_view endpoint_name() const noexcept override {
+    return "data_repo";
+  }
+  /// Subscribes to KPM indications (ignores other message types).
+  void on_message(const RicMessage& message) override;
+
+  /// Data-access queries.
+  [[nodiscard]] std::size_t report_count() const noexcept {
+    return reports_.size();
+  }
+  /// Most recent `count` reports, oldest first.
+  [[nodiscard]] std::vector<netsim::KpiReport> latest_reports(
+      std::size_t count) const;
+  [[nodiscard]] const std::deque<netsim::KpiReport>& all_reports()
+      const noexcept {
+    return reports_;
+  }
+
+  /// Explanation archive.
+  void store_explanation(ExplanationRecord record);
+  [[nodiscard]] const std::vector<ExplanationRecord>& explanations()
+      const noexcept {
+    return explanations_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<netsim::KpiReport> reports_;
+  std::vector<ExplanationRecord> explanations_;
+};
+
+}  // namespace explora::oran

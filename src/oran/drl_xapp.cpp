@@ -1,0 +1,46 @@
+#include "oran/drl_xapp.hpp"
+
+#include "common/contracts.hpp"
+
+namespace explora::oran {
+
+DrlXapp::DrlXapp(Config config, const ml::KpiNormalizer& normalizer,
+                 const ml::Autoencoder& autoencoder,
+                 const ml::PolicyAgent& agent, RmrRouter& router)
+    : config_(std::move(config)),
+      normalizer_(&normalizer),
+      autoencoder_(&autoencoder),
+      agent_(&agent),
+      router_(&router),
+      rng_(config_.seed) {
+  EXPLORA_EXPECTS(config_.reports_per_decision > 0);
+}
+
+void DrlXapp::on_message(const RicMessage& message) {
+  if (message.type != MessageType::kKpmIndication) return;
+  window_.push(message.kpm().report);
+  ++indications_seen_;
+  if (window_.ready() &&
+      indications_seen_ % config_.reports_per_decision == 0) {
+    decide();
+  }
+}
+
+void DrlXapp::decide() {
+  const ml::Vector input = window_.flatten(*normalizer_);
+  last_latent_ = autoencoder_->encode(input);
+  if (config_.stochastic) {
+    std::array<double, ml::kNumHeads> temperatures{};
+    temperatures.fill(config_.sched_temperature);
+    temperatures[0] = config_.prb_temperature;
+    last_decision_ = agent_->act(last_latent_, rng_, temperatures);
+  } else {
+    last_decision_ = agent_->act_greedy(last_latent_);
+  }
+  ++decision_id_;
+  router_->send(make_ran_control(config_.name,
+                                 ml::to_control(last_decision_->action),
+                                 decision_id_));
+}
+
+}  // namespace explora::oran

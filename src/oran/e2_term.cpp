@@ -1,0 +1,23 @@
+#include "oran/e2_term.hpp"
+
+#include "common/contracts.hpp"
+
+namespace explora::oran {
+
+E2Termination::E2Termination(netsim::Gnb& gnb, RmrRouter& router)
+    : gnb_(&gnb), router_(&router) {}
+
+void E2Termination::on_message(const RicMessage& message) {
+  if (message.type != MessageType::kRanControl) return;
+  gnb_->apply_control(message.ran_control().control);
+  ++controls_applied_;
+}
+
+void E2Termination::collect_and_publish() {
+  netsim::KpiReport report = gnb_->run_report_window();
+  ++indications_sent_;
+  router_->send(
+      make_kpm_indication(std::string(endpoint_name()), std::move(report)));
+}
+
+}  // namespace explora::oran

@@ -1,0 +1,42 @@
+// E2 termination: the RIC-side endpoint of the E2 interface. Downstream it
+// applies RAN-control messages to the gNB; upstream it wraps the gNB's KPI
+// reports into KPM indications for the router.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/gnb.hpp"
+#include "oran/rmr.hpp"
+
+namespace explora::oran {
+
+class E2Termination final : public RmrEndpoint {
+ public:
+  /// @param gnb the controlled RAN node (non-owning, must outlive this).
+  /// @param router used to publish indications (non-owning).
+  E2Termination(netsim::Gnb& gnb, RmrRouter& router);
+
+  [[nodiscard]] std::string_view endpoint_name() const noexcept override {
+    return "e2term";
+  }
+  /// Applies RAN-control messages to the gNB.
+  void on_message(const RicMessage& message) override;
+
+  /// Runs one E2 report window on the gNB and publishes the KPM indication.
+  void collect_and_publish();
+
+  [[nodiscard]] std::uint64_t controls_applied() const noexcept {
+    return controls_applied_;
+  }
+  [[nodiscard]] std::uint64_t indications_sent() const noexcept {
+    return indications_sent_;
+  }
+
+ private:
+  netsim::Gnb* gnb_;
+  RmrRouter* router_;
+  std::uint64_t controls_applied_ = 0;
+  std::uint64_t indications_sent_ = 0;
+};
+
+}  // namespace explora::oran

@@ -1,0 +1,30 @@
+#include "oran/messages.hpp"
+
+namespace explora::oran {
+
+std::string to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kKpmIndication: return "KPM_INDICATION";
+    case MessageType::kRanControl: return "RAN_CONTROL";
+  }
+  return "?";
+}
+
+RicMessage make_kpm_indication(std::string sender, netsim::KpiReport report) {
+  RicMessage msg;
+  msg.type = MessageType::kKpmIndication;
+  msg.sender = std::move(sender);
+  msg.payload = KpmIndication{std::move(report)};
+  return msg;
+}
+
+RicMessage make_ran_control(std::string sender, netsim::SlicingControl control,
+                            std::uint64_t decision_id) {
+  RicMessage msg;
+  msg.type = MessageType::kRanControl;
+  msg.sender = std::move(sender);
+  msg.payload = RanControl{control, decision_id};
+  return msg;
+}
+
+}  // namespace explora::oran

@@ -1,0 +1,59 @@
+// RIC-internal messages exchanged over the RMR-style router: E2 KPM
+// indications carrying KPI reports upstream, and RAN-control messages
+// carrying slicing/scheduling decisions downstream (O-RAN WG3 E2SM-KPM /
+// E2SM-RC analogues, reduced to the fields this system uses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "netsim/kpi.hpp"
+#include "netsim/types.hpp"
+
+namespace explora::oran {
+
+/// RMR message types (stand-ins for numeric RMR message IDs).
+enum class MessageType : std::uint8_t {
+  kKpmIndication = 0,  ///< E2SM-KPM styled KPI report, RAN -> RIC
+  kRanControl = 1,     ///< E2SM-RC styled control action, xApp -> RAN
+};
+
+[[nodiscard]] std::string to_string(MessageType type);
+
+/// E2 Service Model KPM indication payload.
+struct KpmIndication {
+  netsim::KpiReport report;
+};
+
+/// E2 Service Model RAN-Control payload.
+struct RanControl {
+  netsim::SlicingControl control;
+  /// Monotonic decision counter assigned by the emitting xApp.
+  std::uint64_t decision_id = 0;
+};
+
+/// One RIC-internal message with its routing metadata.
+struct RicMessage {
+  MessageType type = MessageType::kKpmIndication;
+  std::string sender;  ///< emitting endpoint name
+  std::variant<KpmIndication, RanControl> payload;
+
+  [[nodiscard]] const KpmIndication& kpm() const {
+    return std::get<KpmIndication>(payload);
+  }
+  [[nodiscard]] const RanControl& ran_control() const {
+    return std::get<RanControl>(payload);
+  }
+};
+
+/// Builds a KPM indication message.
+[[nodiscard]] RicMessage make_kpm_indication(std::string sender,
+                                             netsim::KpiReport report);
+
+/// Builds a RAN-control message.
+[[nodiscard]] RicMessage make_ran_control(std::string sender,
+                                          netsim::SlicingControl control,
+                                          std::uint64_t decision_id);
+
+}  // namespace explora::oran

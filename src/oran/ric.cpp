@@ -1,0 +1,44 @@
+#include "oran/ric.hpp"
+
+#include "common/contracts.hpp"
+
+namespace explora::oran {
+
+NearRtRic::NearRtRic(std::unique_ptr<netsim::Gnb> gnb)
+    : gnb_(std::move(gnb)), e2term_(*gnb_, router_) {
+  EXPLORA_EXPECTS(gnb_ != nullptr);
+  router_.register_endpoint(repository_);
+  router_.register_endpoint(e2term_);
+  // Every KPM indication is archived in the data repository.
+  router_.add_route(MessageType::kKpmIndication, "e2term", "data_repo");
+}
+
+void NearRtRic::attach_xapp(RmrEndpoint& xapp) {
+  router_.register_endpoint(xapp);
+}
+
+void NearRtRic::subscribe_indications(const std::string& endpoint) {
+  router_.add_route(MessageType::kKpmIndication, "e2term", endpoint);
+}
+
+void NearRtRic::route_control(const std::string& drl_endpoint) {
+  router_.remove_route(MessageType::kRanControl, drl_endpoint);
+  router_.add_route(MessageType::kRanControl, drl_endpoint, "e2term");
+}
+
+void NearRtRic::route_control_via(const std::string& drl_endpoint,
+                                  const std::string& interposer_endpoint) {
+  router_.remove_route(MessageType::kRanControl, drl_endpoint);
+  router_.add_route(MessageType::kRanControl, drl_endpoint,
+                    interposer_endpoint);
+  router_.remove_route(MessageType::kRanControl, interposer_endpoint);
+  router_.add_route(MessageType::kRanControl, interposer_endpoint, "e2term");
+}
+
+void NearRtRic::run_windows(std::size_t windows) {
+  for (std::size_t i = 0; i < windows; ++i) {
+    e2term_.collect_and_publish();
+  }
+}
+
+}  // namespace explora::oran

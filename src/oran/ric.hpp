@@ -1,0 +1,49 @@
+// The near-real-time RIC composition (Fig. 6): router + data repository +
+// E2 termination, with helpers to attach xApps and wire the paper's two
+// RAN-control routings (direct, or interposed through the EXPLORA xApp).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netsim/gnb.hpp"
+#include "oran/data_repository.hpp"
+#include "oran/e2_term.hpp"
+#include "oran/rmr.hpp"
+
+namespace explora::oran {
+
+class NearRtRic {
+ public:
+  /// @param gnb the controlled RAN node (owned by the RIC for lifetime
+  ///        simplicity — in a real deployment the E2 link is remote).
+  explicit NearRtRic(std::unique_ptr<netsim::Gnb> gnb);
+
+  [[nodiscard]] RmrRouter& router() noexcept { return router_; }
+  [[nodiscard]] DataRepository& repository() noexcept { return repository_; }
+  [[nodiscard]] E2Termination& e2_termination() noexcept { return e2term_; }
+  [[nodiscard]] netsim::Gnb& gnb() noexcept { return *gnb_; }
+
+  /// Registers an xApp endpoint with the router.
+  void attach_xapp(RmrEndpoint& xapp);
+
+  /// Subscribes an endpoint to E2 KPM indications.
+  void subscribe_indications(const std::string& endpoint);
+
+  /// Wires RAN-control routing. Without an interposer: drl -> e2term (the
+  /// red dashed path in Fig. 6). With one: drl -> interposer -> e2term.
+  void route_control(const std::string& drl_endpoint);
+  void route_control_via(const std::string& drl_endpoint,
+                         const std::string& interposer_endpoint);
+
+  /// Runs `windows` E2 report windows (each publishes one indication).
+  void run_windows(std::size_t windows);
+
+ private:
+  std::unique_ptr<netsim::Gnb> gnb_;
+  RmrRouter router_;
+  DataRepository repository_;
+  E2Termination e2term_;
+};
+
+}  // namespace explora::oran

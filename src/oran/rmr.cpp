@@ -1,0 +1,78 @@
+#include "oran/rmr.hpp"
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+
+namespace explora::oran {
+
+void RmrRouter::register_endpoint(RmrEndpoint& endpoint) {
+  const std::string name(endpoint.endpoint_name());
+  EXPLORA_EXPECTS(!name.empty());
+  const auto [it, inserted] = endpoints_.emplace(name, &endpoint);
+  EXPLORA_EXPECTS(inserted && "endpoint names must be unique");
+  (void)it;
+}
+
+bool RmrRouter::has_endpoint(std::string_view name) const {
+  return endpoints_.find(name) != endpoints_.end();
+}
+
+void RmrRouter::add_route(MessageType type, std::string sender,
+                          std::string target) {
+  routes_[RouteKey{type, std::move(sender)}].push_back(std::move(target));
+}
+
+void RmrRouter::remove_route(MessageType type, std::string_view sender) {
+  routes_.erase(RouteKey{type, std::string(sender)});
+}
+
+const std::vector<std::string>* RmrRouter::find_targets(
+    const RicMessage& message) const {
+  // Most specific first: exact sender, then wildcard.
+  auto it = routes_.find(RouteKey{message.type, message.sender});
+  if (it != routes_.end()) return &it->second;
+  it = routes_.find(RouteKey{message.type, "*"});
+  if (it != routes_.end()) return &it->second;
+  return nullptr;
+}
+
+void RmrRouter::send(RicMessage message) {
+  queue_.push_back(std::move(message));
+  if (dispatching_) return;  // the active drain loop will pick it up
+  dispatching_ = true;
+  while (!queue_.empty()) {
+    const RicMessage current = std::move(queue_.front());
+    queue_.pop_front();
+    dispatch(current);
+  }
+  dispatching_ = false;
+}
+
+void RmrRouter::dispatch(const RicMessage& message) {
+  const auto* targets = find_targets(message);
+  if (targets == nullptr || targets->empty()) {
+    ++dropped_;
+    common::logf(common::LogLevel::kDebug, "rmr",
+                 "dropped {} from {} (no route)", to_string(message.type),
+                 message.sender);
+    return;
+  }
+  for (const std::string& target : *targets) {
+    const auto it = endpoints_.find(target);
+    if (it == endpoints_.end()) {
+      ++dropped_;
+      common::logf(common::LogLevel::kWarn, "rmr",
+                   "route target {} is not registered", target);
+      continue;
+    }
+    ++delivery_counts_[target];
+    it->second->on_message(message);
+  }
+}
+
+std::uint64_t RmrRouter::delivered_to(std::string_view target) const {
+  const auto it = delivery_counts_.find(target);
+  return it == delivery_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace explora::oran

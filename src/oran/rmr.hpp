@@ -1,0 +1,75 @@
+// The RIC Message Router (RMR) analogue: named endpoints plus a route
+// table keyed by (message type, sender). This is the mechanism the paper
+// uses to interpose the EXPLORA xApp on RAN-control messages without
+// modifying the DRL xApp (§5.1, Fig. 6): re-pointing one route swaps the
+// direct "DRL xApp -> E2 termination" path for
+// "DRL xApp -> EXPLORA xApp -> E2 termination".
+//
+// Dispatch is synchronous but queued (breadth-first), so a handler that
+// emits messages never recurses into other handlers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "oran/messages.hpp"
+
+namespace explora::oran {
+
+/// Anything addressable by the router (xApps, E2 termination, microservices).
+class RmrEndpoint {
+ public:
+  virtual ~RmrEndpoint() = default;
+  [[nodiscard]] virtual std::string_view endpoint_name() const noexcept = 0;
+  /// Handles one delivered message; may send follow-ups via the router.
+  virtual void on_message(const RicMessage& message) = 0;
+};
+
+class RmrRouter {
+ public:
+  /// Registers an endpoint (non-owning; the endpoint must outlive the
+  /// router's use). The endpoint name must be unique.
+  void register_endpoint(RmrEndpoint& endpoint);
+  [[nodiscard]] bool has_endpoint(std::string_view name) const;
+
+  /// Adds a route: messages of `type` from `sender` go to `target`.
+  /// sender "*" matches any sender without a more specific rule.
+  void add_route(MessageType type, std::string sender, std::string target);
+  /// Removes all routes for (type, sender).
+  void remove_route(MessageType type, std::string_view sender);
+
+  /// Enqueues and dispatches until the queue drains.
+  void send(RicMessage message);
+
+  /// Messages delivered per target endpoint (telemetry / tests).
+  [[nodiscard]] std::uint64_t delivered_to(std::string_view target) const;
+  /// Messages that matched no route (silently dropped, like RMR).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  struct RouteKey {
+    MessageType type;
+    std::string sender;
+    [[nodiscard]] friend bool operator<(const RouteKey& a, const RouteKey& b) {
+      if (a.type != b.type) return a.type < b.type;
+      return a.sender < b.sender;
+    }
+  };
+
+  [[nodiscard]] const std::vector<std::string>* find_targets(
+      const RicMessage& message) const;
+  void dispatch(const RicMessage& message);
+
+  std::map<std::string, RmrEndpoint*, std::less<>> endpoints_;
+  std::map<RouteKey, std::vector<std::string>> routes_;
+  std::map<std::string, std::uint64_t, std::less<>> delivery_counts_;
+  std::uint64_t dropped_ = 0;
+  std::deque<RicMessage> queue_;
+  bool dispatching_ = false;
+};
+
+}  // namespace explora::oran

@@ -1,0 +1,52 @@
+// Gradient-boosted trees for multiclass classification — the XGBoost-style
+// model the paper trains on (latent features -> agent action) to obtain the
+// (poor) classification accuracies of Table 1.
+//
+// Implementation: softmax cross-entropy objective, one regression tree per
+// class per round fitted to the negative gradient (residual p_k - y_k),
+// with shrinkage. Exact greedy splits via the RegressionTree weak learner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xai/tree.hpp"
+
+namespace explora::xai {
+
+class GradientBoostedClassifier {
+ public:
+  struct Config {
+    std::size_t rounds = 40;              ///< boosting iterations
+    double learning_rate = 0.3;           ///< shrinkage
+    RegressionTree::Config tree{};        ///< weak-learner shape
+  };
+
+  GradientBoostedClassifier();
+  explicit GradientBoostedClassifier(Config config);
+
+  void fit(const Dataset& data, std::size_t num_classes);
+
+  /// Raw additive scores (log-odds) per class.
+  [[nodiscard]] Vector decision_function(const Vector& x) const;
+  /// Softmax class probabilities.
+  [[nodiscard]] Vector predict_proba(const Vector& x) const;
+  [[nodiscard]] std::size_t predict(const Vector& x) const;
+  [[nodiscard]] double accuracy(const Dataset& data) const;
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return num_classes_;
+  }
+  [[nodiscard]] std::size_t rounds_fitted() const noexcept {
+    return ensemble_.size();
+  }
+
+ private:
+  Config config_;
+  std::size_t num_classes_ = 0;
+  /// ensemble_[round][class]
+  std::vector<std::vector<RegressionTree>> ensemble_;
+  Vector base_scores_;  ///< class-prior log-odds
+};
+
+}  // namespace explora::xai

@@ -1,0 +1,57 @@
+// LIME (Local Interpretable Model-agnostic Explanations, Ribeiro et al.) —
+// the second model-agnostic baseline the paper names in §2.3 next to SHAP.
+// Explains one prediction by sampling perturbations around the input,
+// weighting them by a locality kernel, and fitting a weighted ridge
+// regression whose coefficients are the local feature attributions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "xai/shap.hpp"  // ModelFn
+
+namespace explora::xai {
+
+class LimeExplainer {
+ public:
+  struct Config {
+    std::size_t samples = 500;       ///< perturbations per explanation
+    double perturbation_sigma = 0.3; ///< Gaussian noise scale per feature
+    /// Locality kernel: exp(-d^2 / width^2) over Euclidean distance.
+    double kernel_width = 0.75;
+    double ridge_lambda = 1e-3;      ///< L2 regularization of the surrogate
+    std::uint64_t seed = 29;
+  };
+
+  LimeExplainer(ModelFn model, Config config);
+  explicit LimeExplainer(ModelFn model);
+
+  /// Local attributions (surrogate slope per feature) of output
+  /// `output_index` at `x`. The surrogate also has an intercept, exposed
+  /// via last_intercept().
+  [[nodiscard]] Vector explain(const Vector& x, std::size_t output_index);
+
+  /// Intercept of the most recent surrogate fit.
+  [[nodiscard]] double last_intercept() const noexcept { return intercept_; }
+  /// Weighted R^2 of the most recent surrogate fit (explanation fidelity).
+  [[nodiscard]] double last_fit_r2() const noexcept { return r2_; }
+  /// Model evaluations performed so far (cost accounting).
+  [[nodiscard]] std::uint64_t model_evaluations() const noexcept {
+    return evaluations_;
+  }
+
+ private:
+  ModelFn model_;
+  Config config_;
+  common::Rng rng_;
+  double intercept_ = 0.0;
+  double r2_ = 0.0;
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Gaussian elimination with partial pivoting (small dense systems).
+/// Exposed for testing.
+[[nodiscard]] Vector solve_linear_system(std::vector<Vector> a, Vector b);
+
+}  // namespace explora::xai

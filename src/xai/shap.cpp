@@ -1,0 +1,171 @@
+#include "xai/shap.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "common/contracts.hpp"
+
+namespace explora::xai {
+
+double factorial(std::size_t n) noexcept {
+  static const std::array<double, 21> table = [] {
+    std::array<double, 21> t{};
+    t[0] = 1.0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      t[i] = t[i - 1] * static_cast<double>(i);
+    }
+    return t;
+  }();
+  return n < table.size() ? table[n] : table.back();
+}
+
+ShapExplainer::ShapExplainer(ModelFn model, std::vector<Vector> background)
+    : ShapExplainer(std::move(model), std::move(background), Config{}) {}
+
+ShapExplainer::ShapExplainer(ModelFn model, std::vector<Vector> background,
+                             Config config)
+    : model_(std::move(model)),
+      background_(std::move(background)),
+      config_(config),
+      rng_(config.seed) {
+  EXPLORA_EXPECTS(model_ != nullptr);
+  EXPLORA_EXPECTS(!background_.empty());
+  if (background_.size() > config_.max_background) {
+    // Deterministic subsample: stride through the background.
+    std::vector<Vector> reduced;
+    reduced.reserve(config_.max_background);
+    const double stride = static_cast<double>(background_.size()) /
+                          static_cast<double>(config_.max_background);
+    for (std::size_t i = 0; i < config_.max_background; ++i) {
+      reduced.push_back(
+          background_[static_cast<std::size_t>(stride * static_cast<double>(i))]);
+    }
+    background_ = std::move(reduced);
+  }
+}
+
+Vector ShapExplainer::coalition_value(const Vector& x,
+                                      std::uint32_t coalition_mask) {
+  Vector accumulator;
+  Vector probe(x.size(), 0.0);
+  for (const Vector& row : background_) {
+    EXPLORA_EXPECTS(row.size() == x.size());
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      probe[f] = (coalition_mask >> f) & 1u ? x[f] : row[f];
+    }
+    Vector out = model_(probe);
+    ++evaluations_;
+    if (accumulator.empty()) {
+      accumulator = std::move(out);
+    } else {
+      for (std::size_t i = 0; i < accumulator.size(); ++i) {
+        accumulator[i] += out[i];
+      }
+    }
+  }
+  for (double& v : accumulator) {
+    v /= static_cast<double>(background_.size());
+  }
+  return accumulator;
+}
+
+Vector ShapExplainer::base_values() {
+  Vector accumulator;
+  for (const Vector& row : background_) {
+    Vector out = model_(row);
+    ++evaluations_;
+    if (accumulator.empty()) {
+      accumulator = std::move(out);
+    } else {
+      for (std::size_t i = 0; i < accumulator.size(); ++i) {
+        accumulator[i] += out[i];
+      }
+    }
+  }
+  for (double& v : accumulator) {
+    v /= static_cast<double>(background_.size());
+  }
+  return accumulator;
+}
+
+std::vector<Vector> ShapExplainer::explain_exact(const Vector& x) {
+  const std::size_t num_features = x.size();
+  EXPLORA_EXPECTS(num_features > 0 && num_features <= 20);
+
+  // Evaluate v(S) for every coalition once.
+  const std::uint32_t num_coalitions = 1u << num_features;
+  std::vector<Vector> values(num_coalitions);
+  for (std::uint32_t mask = 0; mask < num_coalitions; ++mask) {
+    values[mask] = coalition_value(x, mask);
+  }
+  const std::size_t num_outputs = values[0].size();
+
+  // phi_i = sum_S |S|! (N-|S|-1)! / N! * (v(S u {i}) - v(S)), i not in S.
+  std::vector<Vector> phi(num_outputs, Vector(num_features, 0.0));
+  const double n_factorial = factorial(num_features);
+  for (std::size_t f = 0; f < num_features; ++f) {
+    const std::uint32_t f_bit = 1u << f;
+    for (std::uint32_t mask = 0; mask < num_coalitions; ++mask) {
+      if (mask & f_bit) continue;
+      const auto coalition_size =
+          static_cast<std::size_t>(std::popcount(mask));
+      const double weight = factorial(coalition_size) *
+                            factorial(num_features - coalition_size - 1) /
+                            n_factorial;
+      const Vector& with = values[mask | f_bit];
+      const Vector& without = values[mask];
+      for (std::size_t o = 0; o < num_outputs; ++o) {
+        phi[o][f] += weight * (with[o] - without[o]);
+      }
+    }
+  }
+  return phi;
+}
+
+std::vector<Vector> ShapExplainer::explain_sampling(const Vector& x) {
+  const std::size_t num_features = x.size();
+  EXPLORA_EXPECTS(num_features > 0 && num_features < 32);
+
+  std::vector<std::size_t> order(num_features);
+  for (std::size_t i = 0; i < num_features; ++i) order[i] = i;
+
+  std::vector<Vector> phi;
+  std::size_t num_outputs = 0;
+  for (std::size_t p = 0; p < config_.permutations; ++p) {
+    rng_.shuffle(order);
+    std::uint32_t mask = 0;
+    Vector previous = coalition_value(x, mask);
+    if (phi.empty()) {
+      num_outputs = previous.size();
+      phi.assign(num_outputs, Vector(num_features, 0.0));
+    }
+    for (std::size_t f : order) {
+      mask |= 1u << f;
+      Vector current = coalition_value(x, mask);
+      for (std::size_t o = 0; o < num_outputs; ++o) {
+        phi[o][f] += current[o] - previous[o];
+      }
+      previous = std::move(current);
+    }
+  }
+  for (auto& per_output : phi) {
+    for (double& v : per_output) {
+      v /= static_cast<double>(config_.permutations);
+    }
+  }
+  return phi;
+}
+
+Vector ShapExplainer::explain(const Vector& x, std::size_t output_index) {
+  const auto all = explain_all_outputs(x);
+  EXPLORA_EXPECTS(output_index < all.size());
+  return all[output_index];
+}
+
+std::vector<Vector> ShapExplainer::explain_all_outputs(const Vector& x) {
+  return config_.mode == Mode::kExact ? explain_exact(x)
+                                      : explain_sampling(x);
+}
+
+}  // namespace explora::xai

@@ -1,0 +1,83 @@
+// SHAP (SHapley Additive exPlanations) from scratch — the state-of-the-art
+// XAI baseline the paper evaluates against (§3.2, Eq. 2, Figs. 3-4).
+//
+// Two estimators over a background dataset:
+//   - exact: enumerates all 2^N feature coalitions (N = 9 latent features
+//     in the paper's use case) and applies the exact Shapley weights — this
+//     is Eq. (2) and is deliberately expensive, reproducing the cost the
+//     paper measures in Fig. 4;
+//   - sampling: Monte Carlo over random permutations (Castro et al.),
+//     unbiased with configurable sample count.
+//
+// Missing features are marginalized by substituting values from background
+// rows (the interventional conditional expectation used by KernelSHAP).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/matrix.hpp"
+
+namespace explora::xai {
+
+using ml::Vector;
+
+/// Black-box model: feature vector in, output vector out (e.g. the agent's
+/// per-head action scores).
+using ModelFn = std::function<Vector(const Vector&)>;
+
+class ShapExplainer {
+ public:
+  enum class Mode : std::uint8_t { kExact = 0, kSampling = 1 };
+
+  struct Config {
+    Mode mode = Mode::kExact;
+    std::size_t permutations = 200;     ///< sampling mode only
+    std::size_t max_background = 32;    ///< background rows used per v(S)
+    std::uint64_t seed = 17;
+  };
+
+  /// @param model black-box to explain (never null).
+  /// @param background reference dataset for marginalizing missing
+  ///        features; at least one row.
+  ShapExplainer(ModelFn model, std::vector<Vector> background);
+  ShapExplainer(ModelFn model, std::vector<Vector> background, Config config);
+
+  /// Shapley values of every feature for output `output_index` at `x`.
+  /// Exact mode cost: O(2^N * |background|) model evaluations.
+  [[nodiscard]] Vector explain(const Vector& x, std::size_t output_index);
+
+  /// Shapley values for all model outputs at once (shares the coalition
+  /// evaluations). Result: [output][feature].
+  [[nodiscard]] std::vector<Vector> explain_all_outputs(const Vector& x);
+
+  /// Model evaluations performed so far (cost accounting for Fig. 4).
+  [[nodiscard]] std::uint64_t model_evaluations() const noexcept {
+    return evaluations_;
+  }
+  void reset_evaluation_counter() noexcept { evaluations_ = 0; }
+
+  /// Expected model output over the background (the SHAP base value).
+  [[nodiscard]] Vector base_values();
+
+ private:
+  /// v(S): expected model output with features in S taken from x and the
+  /// rest marginalized over the background.
+  [[nodiscard]] Vector coalition_value(const Vector& x,
+                                       std::uint32_t coalition_mask);
+  [[nodiscard]] std::vector<Vector> explain_exact(const Vector& x);
+  [[nodiscard]] std::vector<Vector> explain_sampling(const Vector& x);
+
+  ModelFn model_;
+  std::vector<Vector> background_;
+  Config config_;
+  common::Rng rng_;
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Factorials up to 20 as doubles (Shapley weight computation).
+[[nodiscard]] double factorial(std::size_t n) noexcept;
+
+}  // namespace explora::xai

@@ -1,0 +1,93 @@
+// Tests for the A1 interface / non-RT RIC intent layer (oran/a1) and its
+// integration with the EXPLORA xApp.
+#include "oran/a1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "explora/xapp.hpp"
+#include "oran/rmr.hpp"
+
+namespace explora::oran {
+namespace {
+
+TEST(QosIntentRapp, DerivesIntentsFromThresholds) {
+  QosIntentRapp::Config config;
+  config.embb_bitrate_floor_mbps = 3.0;
+  config.urllc_buffer_ceiling_bytes = 1000.0;
+  QosIntentRapp rapp(config);
+
+  // All healthy -> observe only.
+  EXPECT_EQ(rapp.evaluate(5.0, 100.0), A1Intent::kObserveOnly);
+  // Low bitrate -> improve bitrate.
+  EXPECT_EQ(rapp.evaluate(2.0, 100.0), A1Intent::kImproveBitrate);
+  // URLLC buffer breach dominates even with low bitrate.
+  EXPECT_EQ(rapp.evaluate(2.0, 5000.0), A1Intent::kMinReward);
+  EXPECT_EQ(rapp.evaluate(5.0, 5000.0), A1Intent::kMinReward);
+}
+
+class RecordingConsumer final : public A1PolicyConsumer {
+ public:
+  void on_a1_policy(const A1Policy& policy) override {
+    policies.push_back(policy);
+  }
+  std::vector<A1Policy> policies;
+};
+
+TEST(NonRtRic, IssuesPolicyOnlyOnIntentChange) {
+  NonRtRic ric;
+  RecordingConsumer consumer;
+  ric.attach_consumer(consumer);
+
+  ric.report_kpi_summary(5.0, 100.0);  // observe-only
+  ric.report_kpi_summary(5.0, 100.0);  // unchanged -> no new policy
+  ric.report_kpi_summary(1.0, 100.0);  // -> improve-bitrate
+  ric.report_kpi_summary(1.0, 100.0);  // unchanged
+  ric.report_kpi_summary(1.0, 9e6);    // -> min-reward
+
+  ASSERT_EQ(consumer.policies.size(), 3u);
+  EXPECT_EQ(consumer.policies[0].intent, A1Intent::kObserveOnly);
+  EXPECT_EQ(consumer.policies[1].intent, A1Intent::kImproveBitrate);
+  EXPECT_EQ(consumer.policies[2].intent, A1Intent::kMinReward);
+  EXPECT_EQ(ric.policies_issued(), 3u);
+  // Policy ids are monotonically increasing.
+  EXPECT_LT(consumer.policies[0].policy_id, consumer.policies[2].policy_id);
+}
+
+TEST(NonRtRic, ReAnnouncesCurrentPolicyOnAttach) {
+  NonRtRic ric;
+  ric.report_kpi_summary(1.0, 100.0);  // issues improve-bitrate unheard
+  RecordingConsumer consumer;
+  ric.attach_consumer(consumer);
+  ASSERT_EQ(consumer.policies.size(), 1u);
+  EXPECT_EQ(consumer.policies[0].intent, A1Intent::kImproveBitrate);
+}
+
+TEST(A1Integration, PolicySwitchesExploraSteering) {
+  RmrRouter router;
+  core::ExploraXapp::Config config;
+  core::ExploraXapp xapp(config, router, nullptr);
+  EXPECT_FALSE(xapp.steering_enabled());
+
+  NonRtRic non_rt;
+  non_rt.attach_consumer(xapp);
+
+  // URLLC breach -> min-reward steering activates.
+  non_rt.report_kpi_summary(5.0, 9e9);
+  EXPECT_TRUE(xapp.steering_enabled());
+  EXPECT_EQ(xapp.a1_policies_applied(), 1u);
+
+  // Recovery -> back to observe-only.
+  non_rt.report_kpi_summary(5.0, 0.0);
+  EXPECT_FALSE(xapp.steering_enabled());
+  EXPECT_EQ(xapp.a1_policies_applied(), 2u);
+}
+
+TEST(A1Intent, Names) {
+  EXPECT_EQ(to_string(A1Intent::kObserveOnly), "observe-only");
+  EXPECT_EQ(to_string(A1Intent::kMaxReward), "max-reward");
+  EXPECT_EQ(to_string(A1Intent::kMinReward), "min-reward");
+  EXPECT_EQ(to_string(A1Intent::kImproveBitrate), "improve-bitrate");
+}
+
+}  // namespace
+}  // namespace explora::oran

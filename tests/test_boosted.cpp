@@ -1,0 +1,116 @@
+// Tests for the gradient-boosted classifier (xai/boosted).
+#include "xai/boosted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace explora::xai {
+namespace {
+
+Dataset three_class_blobs(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cls = i % 3;
+    const double cx = cls == 0 ? 0.0 : (cls == 1 ? 3.0 : 6.0);
+    data.features.push_back(
+        {cx + rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+    data.labels.push_back(cls);
+  }
+  return data;
+}
+
+Dataset xor_dataset(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector x{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    data.labels.push_back((x[0] > 0.5) != (x[1] > 0.5) ? 1u : 0u);
+    data.features.push_back(std::move(x));
+  }
+  return data;
+}
+
+TEST(BoostedTrees, SeparableBlobsAreLearned) {
+  const Dataset data = three_class_blobs(300, 1);
+  GradientBoostedClassifier::Config config;
+  config.rounds = 20;
+  GradientBoostedClassifier model(config);
+  model.fit(data, 3);
+  EXPECT_GT(model.accuracy(data), 0.95);
+  EXPECT_EQ(model.rounds_fitted(), 20u);
+}
+
+TEST(BoostedTrees, XorIsLearned) {
+  const Dataset data = xor_dataset(400, 3);
+  GradientBoostedClassifier::Config config;
+  config.rounds = 30;
+  config.tree.max_depth = 3;
+  GradientBoostedClassifier model(config);
+  model.fit(data, 2);
+  EXPECT_GT(model.accuracy(data), 0.95);
+}
+
+TEST(BoostedTrees, MoreRoundsDoNotHurtTrainingAccuracy) {
+  const Dataset data = xor_dataset(300, 5);
+  GradientBoostedClassifier::Config few_config;
+  few_config.rounds = 3;
+  GradientBoostedClassifier few(few_config);
+  few.fit(data, 2);
+
+  GradientBoostedClassifier::Config many_config;
+  many_config.rounds = 40;
+  GradientBoostedClassifier many(many_config);
+  many.fit(data, 2);
+  EXPECT_GE(many.accuracy(data) + 1e-12, few.accuracy(data));
+}
+
+TEST(BoostedTrees, ProbabilitiesAreNormalized) {
+  const Dataset data = three_class_blobs(150, 7);
+  GradientBoostedClassifier model;
+  model.fit(data, 3);
+  const Vector probs = model.predict_proba({3.0, 0.0});
+  ASSERT_EQ(probs.size(), 3u);
+  double sum = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(BoostedTrees, RandomLabelsStayNearChance) {
+  // The Table-1 failure mode: when features carry no information about the
+  // labels, the classifier cannot do (much) better than the prior.
+  common::Rng rng(9);
+  Dataset data;
+  for (int i = 0; i < 400; ++i) {
+    data.features.push_back({rng.uniform(0.0, 1.0)});
+    data.labels.push_back(rng.index(4));
+  }
+  GradientBoostedClassifier::Config config;
+  config.rounds = 10;
+  config.tree.max_depth = 2;
+  GradientBoostedClassifier model(config);
+  model.fit(data, 4);
+
+  // Held-out data from the same (informationless) distribution.
+  Dataset held_out;
+  for (int i = 0; i < 400; ++i) {
+    held_out.features.push_back({rng.uniform(0.0, 1.0)});
+    held_out.labels.push_back(rng.index(4));
+  }
+  EXPECT_LT(model.accuracy(held_out), 0.40);  // chance is 0.25
+}
+
+TEST(BoostedTrees, DecisionFunctionHasClassScores) {
+  const Dataset data = three_class_blobs(90, 11);
+  GradientBoostedClassifier model;
+  model.fit(data, 3);
+  EXPECT_EQ(model.decision_function({0.0, 0.0}).size(), 3u);
+  EXPECT_EQ(model.num_classes(), 3u);
+}
+
+}  // namespace
+}  // namespace explora::xai

@@ -1,0 +1,120 @@
+// Tests for the RIC message wire codec (oran/codec).
+#include "oran/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace explora::oran {
+namespace {
+
+netsim::KpiReport sample_report() {
+  netsim::KpiReport report;
+  report.window_end = 12345;
+  for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
+    report.slices[s].tx_bitrate_mbps = {1.5 + static_cast<double>(s), 0.25};
+    report.slices[s].tx_packets = {10.0 * static_cast<double>(s + 1)};
+    report.slices[s].buffer_bytes = {1000.0, 2000.0, 0.0};
+  }
+  return report;
+}
+
+netsim::SlicingControl sample_control() {
+  netsim::SlicingControl control;
+  control.prbs = {36, 3, 11};
+  control.scheduling = {netsim::SchedulerPolicy::kProportionalFair,
+                        netsim::SchedulerPolicy::kRoundRobin,
+                        netsim::SchedulerPolicy::kWaterfilling};
+  return control;
+}
+
+TEST(Codec, KpmIndicationRoundTrip) {
+  const RicMessage original = make_kpm_indication("e2term", sample_report());
+  const RicMessage decoded = decode_message(encode_message(original));
+  EXPECT_EQ(decoded.type, MessageType::kKpmIndication);
+  EXPECT_EQ(decoded.sender, "e2term");
+  const auto& report = decoded.kpm().report;
+  EXPECT_EQ(report.window_end, 12345);
+  for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
+    EXPECT_EQ(report.slices[s].tx_bitrate_mbps,
+              original.kpm().report.slices[s].tx_bitrate_mbps);
+    EXPECT_EQ(report.slices[s].buffer_bytes,
+              original.kpm().report.slices[s].buffer_bytes);
+  }
+}
+
+TEST(Codec, RanControlRoundTrip) {
+  const RicMessage original =
+      make_ran_control("drl_xapp", sample_control(), 42);
+  const RicMessage decoded = decode_message(encode_message(original));
+  EXPECT_EQ(decoded.type, MessageType::kRanControl);
+  EXPECT_EQ(decoded.sender, "drl_xapp");
+  EXPECT_EQ(decoded.ran_control().control, sample_control());
+  EXPECT_EQ(decoded.ran_control().decision_id, 42u);
+}
+
+TEST(Codec, EmptyReportRoundTrip) {
+  const RicMessage original =
+      make_kpm_indication("e2term", netsim::KpiReport{});
+  const RicMessage decoded = decode_message(encode_message(original));
+  for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
+    EXPECT_TRUE(decoded.kpm().report.slices[s].tx_bitrate_mbps.empty());
+  }
+}
+
+TEST(Codec, RejectsTruncatedWire) {
+  auto wire = encode_message(make_ran_control("x", sample_control(), 1));
+  wire.resize(wire.size() - 3);
+  EXPECT_THROW((void)decode_message(wire), common::SerializeError);
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  auto wire = encode_message(make_ran_control("x", sample_control(), 1));
+  wire.push_back(0xFF);
+  EXPECT_THROW((void)decode_message(wire), common::SerializeError);
+}
+
+TEST(Codec, RejectsCorruptedSchedulerPolicy) {
+  auto wire = encode_message(make_ran_control("x", sample_control(), 1));
+  // The three scheduler u32s sit before the trailing decision_id u64.
+  const std::size_t policy_offset = wire.size() - sizeof(std::uint64_t) - 4;
+  wire[policy_offset] = 0x7F;
+  EXPECT_THROW((void)decode_message(wire), common::SerializeError);
+}
+
+TEST(Codec, RejectsWrongMagic) {
+  auto wire = encode_message(make_ran_control("x", sample_control(), 1));
+  wire[0] ^= 0xFF;
+  EXPECT_THROW((void)decode_message(wire), common::SerializeError);
+}
+
+TEST(Codec, FuzzRandomBytesNeverCrash) {
+  common::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(rng.index(200));
+    for (auto& byte : junk) {
+      byte = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    EXPECT_THROW((void)decode_message(junk), common::SerializeError);
+  }
+}
+
+TEST(Codec, FuzzBitflipsEitherDecodeOrThrow) {
+  // Single-bit corruptions of a valid frame must never crash: they either
+  // still decode (the flip hit a payload value) or throw cleanly.
+  const auto wire =
+      encode_message(make_kpm_indication("e2term", sample_report()));
+  for (std::size_t bit = 0; bit < wire.size() * 8; bit += 7) {
+    auto corrupted = wire;
+    corrupted[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      (void)decode_message(corrupted);
+    } catch (const common::SerializeError&) {
+      // acceptable outcome
+    }
+  }
+}
+
+}  // namespace
+}  // namespace explora::oran

@@ -1,0 +1,153 @@
+// Unit tests for the DRL xApp (oran/drl_xapp): decision cadence, state
+// exposure, stochastic vs deterministic modes, agent-family independence.
+#include "oran/drl_xapp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/autoencoder.hpp"
+#include "ml/dqn.hpp"
+#include "ml/ppo.hpp"
+#include "oran/rmr.hpp"
+
+namespace explora::oran {
+namespace {
+
+/// Records the RAN-control messages the xApp emits.
+class ControlSink final : public RmrEndpoint {
+ public:
+  std::string_view endpoint_name() const noexcept override { return "sink"; }
+  void on_message(const RicMessage& message) override {
+    controls.push_back(message.ran_control());
+  }
+  std::vector<RanControl> controls;
+};
+
+netsim::KpiReport report(double bitrate) {
+  netsim::KpiReport out;
+  for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
+    out.slices[s].tx_bitrate_mbps = {bitrate};
+    out.slices[s].tx_packets = {bitrate * 10.0};
+    out.slices[s].buffer_bytes = {bitrate * 100.0};
+  }
+  return out;
+}
+
+struct Fixture {
+  ml::KpiNormalizer normalizer;
+  std::unique_ptr<ml::Autoencoder> autoencoder;
+  std::unique_ptr<ml::PpoAgent> agent;
+  RmrRouter router;
+  ControlSink sink;
+
+  Fixture() {
+    normalizer.observe(report(0.0));
+    normalizer.observe(report(10.0));
+    autoencoder = std::make_unique<ml::Autoencoder>(7);
+    ml::PpoAgent::Config config;
+    config.state_dim = ml::kLatentDim;
+    config.hidden_dim = 16;
+    agent = std::make_unique<ml::PpoAgent>(config, 11);
+    router.register_endpoint(sink);
+    router.add_route(MessageType::kRanControl, "*", "sink");
+  }
+
+  DrlXapp make_xapp(DrlXapp::Config config = {}) {
+    return DrlXapp(std::move(config), normalizer, *autoencoder, *agent,
+                   router);
+  }
+
+  void feed(DrlXapp& xapp, std::size_t count, double bitrate = 5.0) {
+    for (std::size_t i = 0; i < count; ++i) {
+      xapp.on_message(make_kpm_indication("e2term", report(bitrate)));
+    }
+  }
+};
+
+TEST(DrlXapp, NoDecisionBeforeWindowFills) {
+  Fixture fix;
+  DrlXapp xapp = fix.make_xapp();
+  fix.feed(xapp, ml::kHistory - 1);
+  EXPECT_EQ(xapp.decisions_made(), 0u);
+  EXPECT_TRUE(fix.sink.controls.empty());
+  EXPECT_FALSE(xapp.last_decision().has_value());
+}
+
+TEST(DrlXapp, DecidesOnEveryMthIndication) {
+  Fixture fix;
+  DrlXapp xapp = fix.make_xapp();
+  fix.feed(xapp, ml::kHistory);
+  EXPECT_EQ(xapp.decisions_made(), 1u);
+  fix.feed(xapp, ml::kHistory - 1);
+  EXPECT_EQ(xapp.decisions_made(), 1u);  // mid-window: no decision
+  fix.feed(xapp, 1);
+  EXPECT_EQ(xapp.decisions_made(), 2u);
+  ASSERT_EQ(fix.sink.controls.size(), 2u);
+  EXPECT_EQ(fix.sink.controls[0].decision_id, 1u);
+  EXPECT_EQ(fix.sink.controls[1].decision_id, 2u);
+}
+
+TEST(DrlXapp, ExposesLatentAndDecision) {
+  Fixture fix;
+  DrlXapp xapp = fix.make_xapp();
+  fix.feed(xapp, ml::kHistory);
+  EXPECT_EQ(xapp.last_latent().size(), ml::kLatentDim);
+  ASSERT_TRUE(xapp.last_decision().has_value());
+  EXPECT_LT(xapp.last_decision()->action.prb_choice,
+            netsim::prb_catalog().size());
+}
+
+TEST(DrlXapp, GreedyModeIsRepeatableAcrossInstances) {
+  Fixture fix;
+  DrlXapp a = fix.make_xapp();
+  fix.feed(a, ml::kHistory);
+  ControlSink sink_b;
+  RmrRouter router_b;
+  router_b.register_endpoint(sink_b);
+  router_b.add_route(MessageType::kRanControl, "*", "sink");
+  DrlXapp b(DrlXapp::Config{}, fix.normalizer, *fix.autoencoder, *fix.agent,
+            router_b);
+  for (std::size_t i = 0; i < ml::kHistory; ++i) {
+    b.on_message(make_kpm_indication("e2term", report(5.0)));
+  }
+  EXPECT_EQ(fix.sink.controls[0].control, sink_b.controls[0].control);
+}
+
+TEST(DrlXapp, IgnoresControlMessages) {
+  Fixture fix;
+  DrlXapp xapp = fix.make_xapp();
+  netsim::SlicingControl control;
+  control.prbs = {36, 3, 11};
+  xapp.on_message(make_ran_control("someone", control, 9));
+  EXPECT_EQ(xapp.decisions_made(), 0u);
+}
+
+TEST(DrlXapp, WorksWithDqnAgentThroughSameInterface) {
+  Fixture fix;
+  ml::DqnAgent::Config config;
+  config.state_dim = ml::kLatentDim;
+  config.hidden_dim = 16;
+  const auto dqn = std::make_unique<ml::DqnAgent>(config, 5);
+  DrlXapp xapp(DrlXapp::Config{}, fix.normalizer, *fix.autoencoder, *dqn,
+               fix.router);
+  for (std::size_t i = 0; i < ml::kHistory; ++i) {
+    xapp.on_message(make_kpm_indication("e2term", report(5.0)));
+  }
+  EXPECT_EQ(xapp.decisions_made(), 1u);
+  EXPECT_EQ(fix.sink.controls.size(), 1u);
+}
+
+TEST(DrlXapp, CustomCadence) {
+  Fixture fix;
+  DrlXapp::Config config;
+  config.reports_per_decision = 20;  // decide every 20 indications
+  DrlXapp xapp = fix.make_xapp(config);
+  fix.feed(xapp, 19);
+  EXPECT_EQ(xapp.decisions_made(), 0u);
+  fix.feed(xapp, 1);
+  EXPECT_EQ(xapp.decisions_made(), 1u);
+}
+
+}  // namespace
+}  // namespace explora::oran

@@ -1,0 +1,230 @@
+// Tests for intent-based action steering (explora/edbr, Algorithm 1).
+#include "explora/edbr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "explora/graph.hpp"
+#include "explora/reward.hpp"
+
+namespace explora::core {
+namespace {
+
+netsim::SlicingControl control(std::uint32_t embb, std::uint32_t mmtc,
+                               std::uint32_t urllc, int s0 = 0, int s1 = 0,
+                               int s2 = 0) {
+  netsim::SlicingControl out;
+  out.prbs = {embb, mmtc, urllc};
+  out.scheduling = {static_cast<netsim::SchedulerPolicy>(s0),
+                    static_cast<netsim::SchedulerPolicy>(s1),
+                    static_cast<netsim::SchedulerPolicy>(s2)};
+  return out;
+}
+
+netsim::KpiReport report(double bitrate, double packets, double buffer) {
+  netsim::KpiReport out;
+  for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
+    out.slices[s].tx_bitrate_mbps = {bitrate};
+    out.slices[s].tx_packets = {packets};
+    out.slices[s].buffer_bytes = {buffer};
+  }
+  return out;
+}
+
+/// Builds a graph with three actions:
+///   prev (bitrate 4) -> good (bitrate 8) and prev -> bad (bitrate 1),
+/// so `good` is the best first-hop candidate from `prev`.
+struct SteeringFixture {
+  AttributedGraph graph;
+  netsim::SlicingControl prev = control(18, 15, 17);
+  netsim::SlicingControl good = control(42, 3, 5);
+  netsim::SlicingControl bad = control(6, 9, 35);
+
+  SteeringFixture() {
+    graph.begin_action(prev);
+    graph.record_consequence(report(4.0, 50.0, 1000.0));
+    graph.begin_action(good);
+    graph.record_consequence(report(8.0, 50.0, 1000.0));
+    graph.begin_action(prev);
+    graph.record_consequence(report(4.0, 50.0, 1000.0));
+    graph.begin_action(bad);
+    graph.record_consequence(report(1.0, 50.0, 1000.0));
+    graph.begin_action(prev);  // back so prev has both as neighbours
+    graph.record_consequence(report(4.0, 50.0, 1000.0));
+  }
+};
+
+ActionSteering::Config config_of(SteeringStrategy strategy,
+                                 std::size_t window = 5) {
+  ActionSteering::Config config;
+  config.strategy = strategy;
+  config.observation_window = window;
+  return config;
+}
+
+TEST(ActionSteering, Ar1ReplacesLowRewardActionWithBestNeighbor) {
+  SteeringFixture fix;
+  ActionSteering steering(fix.graph,
+                          RewardModel(RewardWeights::high_throughput()),
+                          config_of(SteeringStrategy::kMaxReward));
+  // Recent measured rewards are high, so the proposed low-reward action
+  // trips the omega condition.
+  for (int i = 0; i < 5; ++i) steering.push_measured_reward(7.0);
+
+  const SteeringOutcome outcome = steering.steer(fix.bad, fix.prev);
+  EXPECT_TRUE(outcome.triggered);
+  EXPECT_TRUE(outcome.suggested);
+  EXPECT_TRUE(outcome.replaced);
+  EXPECT_EQ(outcome.enforced, fix.good);
+  EXPECT_GT(outcome.expected_reward_enforced,
+            outcome.expected_reward_proposed);
+  EXPECT_EQ(steering.replacements(), 1u);
+  EXPECT_EQ(steering.suggestions(), 1u);
+}
+
+TEST(ActionSteering, Ar1ForwardsWhenExpectedRewardIsHealthy) {
+  SteeringFixture fix;
+  ActionSteering steering(fix.graph,
+                          RewardModel(RewardWeights::high_throughput()),
+                          config_of(SteeringStrategy::kMaxReward));
+  for (int i = 0; i < 5; ++i) steering.push_measured_reward(2.0);
+  // Proposing `good` (expected reward ~8 > recent 2): omega false, no fire.
+  const SteeringOutcome outcome = steering.steer(fix.good, fix.prev);
+  EXPECT_FALSE(outcome.triggered);
+  EXPECT_FALSE(outcome.replaced);
+  EXPECT_EQ(outcome.enforced, fix.good);
+}
+
+TEST(ActionSteering, Ar2FiresOnHighRewardAndPicksWorstNeighbor) {
+  SteeringFixture fix;
+  ActionSteering steering(fix.graph,
+                          RewardModel(RewardWeights::high_throughput()),
+                          config_of(SteeringStrategy::kMinReward));
+  for (int i = 0; i < 5; ++i) steering.push_measured_reward(2.0);
+  // omega = expected(good) < avg = false -> AR2 fires.
+  const SteeringOutcome outcome = steering.steer(fix.good, fix.prev);
+  EXPECT_TRUE(outcome.triggered);
+  EXPECT_TRUE(outcome.replaced);
+  EXPECT_EQ(outcome.enforced, fix.bad);
+}
+
+TEST(ActionSteering, Ar3PicksHighestBitrateNeighbor) {
+  SteeringFixture fix;
+  ActionSteering steering(fix.graph,
+                          RewardModel(RewardWeights::high_throughput()),
+                          config_of(SteeringStrategy::kImproveBitrate));
+  for (int i = 0; i < 5; ++i) steering.push_measured_reward(7.0);
+  const SteeringOutcome outcome = steering.steer(fix.bad, fix.prev);
+  EXPECT_TRUE(outcome.replaced);
+  EXPECT_EQ(outcome.enforced, fix.good);  // highest tx_bitrate attribute
+}
+
+TEST(ActionSteering, UnknownProposedActionIsForwarded) {
+  SteeringFixture fix;
+  ActionSteering steering(fix.graph,
+                          RewardModel(RewardWeights::high_throughput()),
+                          config_of(SteeringStrategy::kMaxReward));
+  for (int i = 0; i < 5; ++i) steering.push_measured_reward(7.0);
+  const auto unknown = control(24, 21, 5);
+  const SteeringOutcome outcome = steering.steer(unknown, fix.prev);
+  EXPECT_FALSE(outcome.triggered);
+  EXPECT_EQ(outcome.enforced, unknown);
+}
+
+TEST(ActionSteering, UnknownPreviousActionIsForwarded) {
+  SteeringFixture fix;
+  ActionSteering steering(fix.graph,
+                          RewardModel(RewardWeights::high_throughput()),
+                          config_of(SteeringStrategy::kMaxReward));
+  for (int i = 0; i < 5; ++i) steering.push_measured_reward(7.0);
+  const auto unknown_prev = control(24, 21, 5);
+  const SteeringOutcome outcome = steering.steer(fix.bad, unknown_prev);
+  EXPECT_FALSE(outcome.triggered);  // Algorithm 1 line 13
+  EXPECT_EQ(outcome.enforced, fix.bad);
+}
+
+TEST(ActionSteering, NoRewardHistoryMeansNoSteering) {
+  SteeringFixture fix;
+  ActionSteering steering(fix.graph,
+                          RewardModel(RewardWeights::high_throughput()),
+                          config_of(SteeringStrategy::kMaxReward));
+  const SteeringOutcome outcome = steering.steer(fix.bad, fix.prev);
+  EXPECT_FALSE(outcome.triggered);
+  EXPECT_EQ(outcome.enforced, fix.bad);
+}
+
+TEST(ActionSteering, ObservationWindowIsBounded) {
+  SteeringFixture fix;
+  ActionSteering steering(fix.graph,
+                          RewardModel(RewardWeights::high_throughput()),
+                          config_of(SteeringStrategy::kMaxReward, 3));
+  // Old rewards beyond O = 3 must be forgotten: push 100 high rewards then
+  // 3 low ones — the average must reflect only the low ones.
+  for (int i = 0; i < 100; ++i) steering.push_measured_reward(100.0);
+  for (int i = 0; i < 3; ++i) steering.push_measured_reward(0.0);
+  // Proposed `good` (expected ~8 > avg 0): omega false -> AR1 silent.
+  const SteeringOutcome outcome = steering.steer(fix.good, fix.prev);
+  EXPECT_FALSE(outcome.triggered);
+}
+
+TEST(ActionSteering, ReplacementCountsTrackActions) {
+  SteeringFixture fix;
+  ActionSteering steering(fix.graph,
+                          RewardModel(RewardWeights::high_throughput()),
+                          config_of(SteeringStrategy::kMaxReward));
+  for (int i = 0; i < 5; ++i) steering.push_measured_reward(7.0);
+  (void)steering.steer(fix.bad, fix.prev);
+  (void)steering.steer(fix.bad, fix.prev);
+  ASSERT_EQ(steering.replacement_counts().count(fix.bad), 1u);
+  EXPECT_EQ(steering.replacement_counts().at(fix.bad), 2u);
+  EXPECT_EQ(steering.substitute_counts().at(fix.good), 2u);
+  EXPECT_EQ(steering.decisions(), 2u);
+}
+
+TEST(ActionSteering, TwoHopExplorationReachesFurtherCandidates) {
+  // Chain: start -> mid -> best. From `start`, 1-hop exploration only sees
+  // `mid`; 2-hop also reaches `best`.
+  AttributedGraph graph;
+  const auto start = control(18, 15, 17);
+  const auto mid = control(24, 9, 17);
+  const auto best = control(42, 3, 5);
+  graph.begin_action(start);
+  graph.record_consequence(report(3.0, 0, 0));
+  graph.begin_action(mid);
+  graph.record_consequence(report(4.0, 0, 0));
+  graph.begin_action(best);
+  graph.record_consequence(report(9.0, 0, 0));
+
+  const auto proposed = control(6, 9, 35);
+  graph.begin_action(proposed);  // known node with a low reward
+  graph.record_consequence(report(1.0, 0, 0));
+
+  auto run_with_hops = [&](std::size_t hops) {
+    ActionSteering::Config config;
+    config.strategy = SteeringStrategy::kMaxReward;
+    config.observation_window = 5;
+    config.exploration_hops = hops;
+    ActionSteering steering(graph,
+                            RewardModel(RewardWeights::high_throughput()),
+                            config);
+    for (int i = 0; i < 5; ++i) steering.push_measured_reward(8.0);
+    return steering.steer(proposed, start);
+  };
+
+  const SteeringOutcome one_hop = run_with_hops(1);
+  EXPECT_TRUE(one_hop.replaced);
+  EXPECT_EQ(one_hop.enforced, mid);  // best is out of reach
+
+  const SteeringOutcome two_hop = run_with_hops(2);
+  EXPECT_TRUE(two_hop.replaced);
+  EXPECT_EQ(two_hop.enforced, best);
+}
+
+TEST(ActionSteering, StrategyNames) {
+  EXPECT_EQ(to_string(SteeringStrategy::kMaxReward), "AR1-max-reward");
+  EXPECT_EQ(to_string(SteeringStrategy::kMinReward), "AR2-min-reward");
+  EXPECT_EQ(to_string(SteeringStrategy::kImproveBitrate),
+            "AR3-improve-bitrate");
+}
+
+}  // namespace
+}  // namespace explora::core

@@ -1,0 +1,103 @@
+// Unit tests for the std::format replacement (common/format).
+#include "common/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace explora::common {
+namespace {
+
+TEST(Format, PlainPassthrough) {
+  EXPECT_EQ(format("hello"), "hello");
+}
+
+TEST(Format, BasicPlaceholders) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("{}", "text"), "text");
+  EXPECT_EQ(format("{}", std::string("str")), "str");
+  EXPECT_EQ(format("{}", true), "true");
+  EXPECT_EQ(format("{}", false), "false");
+}
+
+TEST(Format, Escapes) {
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("a {{ b }} c"), "a { b } c");
+  EXPECT_EQ(format("{{{}}}", 5), "{5}");
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.7), "3");
+  EXPECT_EQ(format("{:.3f}", -1.0), "-1.000");
+}
+
+TEST(Format, SignedPrecision) {
+  EXPECT_EQ(format("{:+.1f}", 4.26), "+4.3");
+  EXPECT_EQ(format("{:+.1f}", -4.26), "-4.3");
+}
+
+TEST(Format, WidthAndAlignment) {
+  EXPECT_EQ(format("{:>6}", 42), "    42");
+  EXPECT_EQ(format("{:<6}|", 42), "42    |");
+  EXPECT_EQ(format("{:<3}", "ab"), "ab ");
+  EXPECT_EQ(format("{:>12.3f}", 1.5), "       1.500");
+}
+
+TEST(Format, DefaultAlignmentByType) {
+  // Numbers right-align, strings left-align (std::format convention).
+  EXPECT_EQ(format("{:4}", 7), "   7");
+  EXPECT_EQ(format("{:4}", "x"), "x   ");
+}
+
+TEST(Format, IntegerTypes) {
+  EXPECT_EQ(format("{}", static_cast<std::uint64_t>(1) << 40),
+            "1099511627776");
+  EXPECT_EQ(format("{}", -17), "-17");
+  EXPECT_EQ(format("{:x}", 255), "ff");
+}
+
+TEST(Format, GeneralFloatDefault) {
+  EXPECT_EQ(format("{}", 0.5), "0.5");
+  EXPECT_EQ(format("{}", 100.0), "100");
+}
+
+TEST(Format, EnumFormatsAsInteger) {
+  enum class Color { kRed = 2 };
+  EXPECT_EQ(format("{}", Color::kRed), "2");
+}
+
+TEST(Format, ThrowsOnUnterminatedField) {
+  EXPECT_THROW((void)format("{oops", 1), std::invalid_argument);
+}
+
+TEST(Format, ThrowsOnMissingArguments) {
+  EXPECT_THROW((void)format("{} {}", 1), std::invalid_argument);
+}
+
+TEST(Format, ThrowsOnPositionalArguments) {
+  EXPECT_THROW((void)format("{0}", 1), std::invalid_argument);
+}
+
+TEST(ParseFormatSpec, Fields) {
+  const FormatSpec spec = parse_format_spec(">12.3f");
+  EXPECT_EQ(spec.align, '>');
+  EXPECT_EQ(spec.width, 12);
+  EXPECT_EQ(spec.precision, 3);
+  EXPECT_EQ(spec.type, 'f');
+}
+
+TEST(ParseFormatSpec, FillCharacter) {
+  const FormatSpec spec = parse_format_spec("0>4");
+  EXPECT_EQ(spec.fill, '0');
+  EXPECT_EQ(spec.align, '>');
+  EXPECT_EQ(spec.width, 4);
+  EXPECT_EQ(format("{:0>4}", 7), "0007");
+}
+
+TEST(ParseFormatSpec, RejectsGarbage) {
+  EXPECT_THROW((void)parse_format_spec(".."), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace explora::common

@@ -1,0 +1,243 @@
+// Tests for the attributed graph (explora/graph).
+#include "explora/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/types.hpp"
+
+namespace explora::core {
+namespace {
+
+netsim::SlicingControl control(std::uint32_t embb, std::uint32_t mmtc,
+                               std::uint32_t urllc, int s0 = 0, int s1 = 0,
+                               int s2 = 0) {
+  netsim::SlicingControl out;
+  out.prbs = {embb, mmtc, urllc};
+  out.scheduling = {static_cast<netsim::SchedulerPolicy>(s0),
+                    static_cast<netsim::SchedulerPolicy>(s1),
+                    static_cast<netsim::SchedulerPolicy>(s2)};
+  return out;
+}
+
+netsim::KpiReport report(double bitrate, double packets, double buffer) {
+  netsim::KpiReport out;
+  for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
+    out.slices[s].tx_bitrate_mbps = {bitrate};
+    out.slices[s].tx_packets = {packets};
+    out.slices[s].buffer_bytes = {buffer};
+  }
+  return out;
+}
+
+TEST(AttributedGraph, StartsEmpty) {
+  AttributedGraph graph;
+  EXPECT_EQ(graph.node_count(), 0u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.total_transitions(), 0u);
+  EXPECT_FALSE(graph.contains(control(36, 3, 11)));
+  EXPECT_EQ(graph.find(control(36, 3, 11)), nullptr);
+  EXPECT_TRUE(graph.neighbors(control(36, 3, 11)).empty());
+}
+
+TEST(AttributedGraph, NewActionCreatesNode) {
+  AttributedGraph graph;
+  graph.begin_action(control(36, 3, 11));
+  EXPECT_EQ(graph.node_count(), 1u);
+  EXPECT_TRUE(graph.contains(control(36, 3, 11)));
+  const ActionNode* node = graph.find(control(36, 3, 11));
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->visits, 1u);
+  EXPECT_EQ(node->attributes.size(), kNumAttributes);
+}
+
+TEST(AttributedGraph, RepeatedActionReusesNode) {
+  AttributedGraph graph;
+  graph.begin_action(control(36, 3, 11));
+  graph.begin_action(control(36, 3, 11));
+  EXPECT_EQ(graph.node_count(), 1u);
+  EXPECT_EQ(graph.find(control(36, 3, 11))->visits, 2u);
+  // Self-transition creates a self-edge.
+  EXPECT_EQ(graph.edge_visits(control(36, 3, 11), control(36, 3, 11)), 1u);
+}
+
+TEST(AttributedGraph, EdgesFollowTemporalOrder) {
+  AttributedGraph graph;
+  const auto a = control(36, 3, 11);
+  const auto b = control(12, 3, 35);
+  graph.begin_action(a);
+  graph.begin_action(b);
+  graph.begin_action(a);
+  EXPECT_EQ(graph.edge_visits(a, b), 1u);
+  EXPECT_EQ(graph.edge_visits(b, a), 1u);
+  EXPECT_EQ(graph.edge_visits(a, a), 0u);
+  EXPECT_EQ(graph.total_transitions(), 2u);
+}
+
+TEST(AttributedGraph, EdgeCountsAccumulate) {
+  AttributedGraph graph;
+  const auto a = control(36, 3, 11);
+  const auto b = control(12, 3, 35);
+  for (int i = 0; i < 3; ++i) {
+    graph.begin_action(a);
+    graph.begin_action(b);
+  }
+  EXPECT_EQ(graph.edge_visits(a, b), 3u);
+  EXPECT_EQ(graph.edge_visits(b, a), 2u);
+  EXPECT_EQ(graph.edge_count(), 2u);  // two distinct directed edges
+}
+
+TEST(AttributedGraph, RecordConsequenceFillsAttributes) {
+  AttributedGraph graph;
+  const auto a = control(36, 3, 11);
+  graph.begin_action(a);
+  graph.record_consequence(report(5.0, 100.0, 2000.0));
+  graph.record_consequence(report(7.0, 120.0, 1000.0));
+  const ActionNode* node = graph.find(a);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->samples, 2u);
+  EXPECT_DOUBLE_EQ(
+      node->attribute_mean(netsim::Kpi::kTxBitrate, netsim::Slice::kEmbb),
+      6.0);
+  EXPECT_DOUBLE_EQ(
+      node->attribute_mean(netsim::Kpi::kBufferSize, netsim::Slice::kUrllc),
+      1500.0);
+}
+
+TEST(AttributedGraph, AttributesAccumulateAcrossRevisits) {
+  AttributedGraph graph;
+  const auto a = control(36, 3, 11);
+  const auto b = control(12, 3, 35);
+  graph.begin_action(a);
+  graph.record_consequence(report(4.0, 0.0, 0.0));
+  graph.begin_action(b);
+  graph.record_consequence(report(1.0, 0.0, 0.0));
+  graph.begin_action(a);  // revisit: Appendix B's t2 step
+  graph.record_consequence(report(6.0, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(graph.find(a)->attribute_mean(netsim::Kpi::kTxBitrate,
+                                                 netsim::Slice::kEmbb),
+                   5.0);
+  EXPECT_EQ(graph.find(a)->samples, 2u);
+}
+
+TEST(AttributedGraph, NeighborsAreFirstHop) {
+  AttributedGraph graph;
+  const auto a = control(36, 3, 11);
+  const auto b = control(12, 3, 35);
+  const auto c = control(6, 9, 35);
+  graph.begin_action(a);
+  graph.begin_action(b);
+  graph.begin_action(a);
+  graph.begin_action(c);
+  const auto neighbors = graph.neighbors(a);
+  ASSERT_EQ(neighbors.size(), 2u);  // b and c
+  EXPECT_TRUE(graph.node(neighbors[0]).action == b ||
+              graph.node(neighbors[1]).action == b);
+  EXPECT_TRUE(graph.neighbors(b).size() == 1u);  // only a
+}
+
+TEST(AttributedGraph, BreakTemporalLinkSuppressesEdge) {
+  AttributedGraph graph;
+  graph.begin_action(control(36, 3, 11));
+  graph.break_temporal_link();
+  graph.begin_action(control(12, 3, 35));
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_EQ(graph.total_transitions(), 0u);
+}
+
+TEST(AttributedGraph, EdgesListMatchesVisits) {
+  AttributedGraph graph;
+  const auto a = control(36, 3, 11);
+  const auto b = control(12, 3, 35);
+  graph.begin_action(a);
+  graph.begin_action(b);
+  graph.begin_action(b);
+  const auto edges = graph.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& [from, to, count] : edges) total += count;
+  EXPECT_EQ(total, graph.total_transitions());
+}
+
+TEST(AttributedGraph, DescribeListsTopActions) {
+  AttributedGraph graph;
+  graph.begin_action(control(36, 3, 11));
+  graph.begin_action(control(36, 3, 11));
+  graph.begin_action(control(12, 3, 35));
+  const std::string description = graph.describe();
+  EXPECT_NE(description.find("2 nodes"), std::string::npos);
+  EXPECT_NE(description.find("([36, 3, 11]"), std::string::npos);
+}
+
+TEST(AttributedGraph, AttributeNamesAreReadable) {
+  EXPECT_EQ(attribute_name(attribute_index(netsim::Kpi::kTxBitrate,
+                                           netsim::Slice::kEmbb)),
+            "tx_bitrate[eMBB]");
+  EXPECT_EQ(attribute_name(attribute_index(netsim::Kpi::kBufferSize,
+                                           netsim::Slice::kUrllc)),
+            "DWL_buffer_size[URLLC]");
+}
+
+TEST(AttributedGraph, UserAttributesStorePerUeSamples) {
+  AttributedGraph graph;
+  graph.begin_action(control(36, 3, 11));
+  netsim::KpiReport two_users;
+  two_users.slices[0].tx_bitrate_mbps = {2.0, 4.0};  // two eMBB users
+  two_users.slices[0].tx_packets = {10.0, 20.0};
+  two_users.slices[0].buffer_bytes = {100.0, 300.0};
+  graph.record_consequence(two_users);
+
+  const ActionNode* node = graph.find(control(36, 3, 11));
+  ASSERT_NE(node, nullptr);
+  // Aggregate store: one sample (the slice sum = 6).
+  EXPECT_DOUBLE_EQ(
+      node->attribute_mean(netsim::Kpi::kTxBitrate, netsim::Slice::kEmbb),
+      6.0);
+  // Per-user store: two samples (2 and 4), Appendix-B style.
+  const auto& store = node->user_attributes[attribute_index(
+      netsim::Kpi::kTxBitrate, netsim::Slice::kEmbb)];
+  EXPECT_EQ(store.seen(), 2u);
+  EXPECT_DOUBLE_EQ(
+      node->user_attribute_mean(netsim::Kpi::kTxBitrate,
+                                netsim::Slice::kEmbb),
+      3.0);
+}
+
+TEST(AttributedGraph, DotExportContainsNodesAndEdges) {
+  AttributedGraph graph;
+  graph.begin_action(control(36, 3, 11));
+  graph.begin_action(control(12, 3, 35));
+  graph.begin_action(control(36, 3, 11));
+  const std::string dot = graph.to_dot();
+  EXPECT_NE(dot.find("digraph explora"), std::string::npos);
+  EXPECT_NE(dot.find("([36, 3, 11]"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n0"), std::string::npos);
+}
+
+TEST(AttributedGraph, DotExportElidesRareNodes) {
+  AttributedGraph graph;
+  graph.begin_action(control(36, 3, 11));
+  graph.begin_action(control(36, 3, 11));  // 2 visits
+  graph.begin_action(control(12, 3, 35));  // 1 visit
+  const std::string dot = graph.to_dot(/*min_visits=*/2);
+  EXPECT_NE(dot.find("([36, 3, 11]"), std::string::npos);
+  EXPECT_EQ(dot.find("([12, 3, 35]"), std::string::npos);
+}
+
+TEST(AttributedGraph, ReservoirCapacityBoundsMemory) {
+  AttributedGraph::Config config;
+  config.attribute_capacity = 8;
+  AttributedGraph graph(config);
+  graph.begin_action(control(36, 3, 11));
+  for (int i = 0; i < 100; ++i) {
+    graph.record_consequence(report(i, i, i));
+  }
+  const ActionNode* node = graph.find(control(36, 3, 11));
+  for (const auto& store : node->attributes) {
+    EXPECT_LE(store.retained(), 8u);
+    EXPECT_EQ(store.seen(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace explora::core

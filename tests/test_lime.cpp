@@ -1,0 +1,102 @@
+// Tests for the LIME explainer (xai/lime).
+#include "xai/lime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace explora::xai {
+namespace {
+
+TEST(LinearSolver, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1, 3].
+  std::vector<Vector> a{{2.0, 1.0}, {1.0, 3.0}};
+  Vector b{5.0, 10.0};
+  const Vector x = solve_linear_system(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolver, PivotsOnZeroDiagonal) {
+  std::vector<Vector> a{{0.0, 1.0}, {1.0, 0.0}};
+  Vector b{2.0, 3.0};
+  const Vector x = solve_linear_system(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lime, RecoversLinearModelExactly) {
+  const Vector weights{2.0, -1.0, 0.5};
+  LimeExplainer explainer([&weights](const Vector& x) {
+    double y = 7.0;  // intercept
+    for (std::size_t i = 0; i < x.size(); ++i) y += weights[i] * x[i];
+    return Vector{y};
+  });
+  const Vector phi = explainer.explain({0.3, -0.2, 0.8}, 0);
+  ASSERT_EQ(phi.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(phi[i], weights[i], 0.02);
+  }
+  EXPECT_GT(explainer.last_fit_r2(), 0.999);  // linear model, perfect fit
+}
+
+TEST(Lime, DummyFeatureGetsNearZero) {
+  LimeExplainer explainer(
+      [](const Vector& x) { return Vector{3.0 * x[0]}; });
+  const Vector phi = explainer.explain({1.0, 42.0}, 0);
+  EXPECT_NEAR(phi[0], 3.0, 0.05);
+  EXPECT_NEAR(phi[1], 0.0, 0.05);
+}
+
+TEST(Lime, LocalSlopeOfNonlinearModel) {
+  // f(x) = x^2: the local surrogate slope at x0 approximates f'(x0) = 2 x0.
+  LimeExplainer::Config config;
+  config.perturbation_sigma = 0.05;  // stay local
+  config.kernel_width = 0.1;
+  config.samples = 2000;
+  LimeExplainer explainer(
+      [](const Vector& x) { return Vector{x[0] * x[0]}; }, config);
+  const Vector phi = explainer.explain({1.5}, 0);
+  EXPECT_NEAR(phi[0], 3.0, 0.1);
+}
+
+TEST(Lime, DeterministicPerSeed) {
+  auto model = [](const Vector& x) { return Vector{x[0] - 2.0 * x[1]}; };
+  LimeExplainer a(model);
+  LimeExplainer b(model);
+  EXPECT_EQ(a.explain({0.5, 0.5}, 0), b.explain({0.5, 0.5}, 0));
+}
+
+TEST(Lime, MultiOutputSelectsIndex) {
+  auto model = [](const Vector& x) {
+    return Vector{x[0], -x[0]};
+  };
+  LimeExplainer explainer(model);
+  const Vector phi0 = explainer.explain({0.2}, 0);
+  LimeExplainer explainer2(model);
+  const Vector phi1 = explainer2.explain({0.2}, 1);
+  EXPECT_NEAR(phi0[0], -phi1[0], 0.02);
+}
+
+TEST(Lime, CountsModelEvaluations) {
+  LimeExplainer::Config config;
+  config.samples = 64;
+  LimeExplainer explainer(
+      [](const Vector& x) { return Vector{x[0]}; }, config);
+  (void)explainer.explain({1.0, 2.0}, 0);
+  EXPECT_EQ(explainer.model_evaluations(), 64u);
+}
+
+TEST(Lime, FidelityDropsForHighlyNonlinearModels) {
+  // A wildly oscillating model cannot be fit by a local linear surrogate
+  // at this perturbation scale: R^2 must reflect that.
+  LimeExplainer::Config config;
+  config.perturbation_sigma = 1.0;
+  LimeExplainer explainer(
+      [](const Vector& x) { return Vector{std::sin(20.0 * x[0])}; }, config);
+  (void)explainer.explain({0.0}, 0);
+  EXPECT_LT(explainer.last_fit_r2(), 0.5);
+}
+
+}  // namespace
+}  // namespace explora::xai

@@ -1,0 +1,277 @@
+// Cross-module property sweeps and failure-injection tests: invariants the
+// system must hold under randomized inputs, seeds and degenerate
+// configurations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "explora/graph.hpp"
+#include "explora/reward.hpp"
+#include "harness/experiment.hpp"
+#include "harness/training.hpp"
+#include "ml/ppo.hpp"
+#include "netsim/scenario.hpp"
+
+namespace explora {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Attributed-graph invariants under random action/report streams.
+// ---------------------------------------------------------------------------
+
+netsim::SlicingControl random_action(common::Rng& rng) {
+  const auto& catalog = netsim::prb_catalog();
+  netsim::SlicingControl control;
+  control.prbs = catalog[rng.index(catalog.size())];
+  for (auto& policy : control.scheduling) {
+    policy = static_cast<netsim::SchedulerPolicy>(rng.index(3));
+  }
+  return control;
+}
+
+netsim::KpiReport random_report(common::Rng& rng) {
+  netsim::KpiReport report;
+  for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
+    report.slices[s].tx_bitrate_mbps = {rng.uniform(0.0, 10.0)};
+    report.slices[s].tx_packets = {rng.uniform(0.0, 500.0)};
+    report.slices[s].buffer_bytes = {rng.uniform(0.0, 1e6)};
+  }
+  return report;
+}
+
+class GraphFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphFuzzSweep, InvariantsHoldUnderRandomStreams) {
+  common::Rng rng(GetParam());
+  core::AttributedGraph graph;
+  std::size_t begin_calls = 0;
+  std::size_t record_calls = 0;
+  bool has_current = false;  // record_consequence requires an active action
+  for (int step = 0; step < 500; ++step) {
+    if (!has_current || rng.bernoulli(0.3)) {
+      graph.begin_action(random_action(rng));
+      ++begin_calls;
+      has_current = true;
+    } else if (rng.bernoulli(0.05)) {
+      graph.break_temporal_link();
+      has_current = false;
+    } else {
+      graph.record_consequence(random_report(rng));
+      ++record_calls;
+    }
+  }
+  // Sum of node visits equals begin_action calls.
+  std::uint64_t visits = 0;
+  std::uint64_t samples = 0;
+  for (const auto& node : graph.nodes()) {
+    visits += node.visits;
+    samples += node.samples;
+  }
+  EXPECT_EQ(visits, begin_calls);
+  EXPECT_EQ(samples, record_calls);
+  // Sum of edge counts equals total transitions.
+  std::uint64_t edge_total = 0;
+  for (const auto& [from, to, count] : graph.edges()) {
+    EXPECT_LT(from, graph.node_count());
+    EXPECT_LT(to, graph.node_count());
+    edge_total += count;
+  }
+  EXPECT_EQ(edge_total, graph.total_transitions());
+  // Transitions never exceed begin calls minus one (links can be broken).
+  EXPECT_LE(graph.total_transitions(), begin_calls - 1);
+  // Every neighbour list refers to existing nodes and matches the edges.
+  for (const auto& node : graph.nodes()) {
+    for (std::size_t neighbor : graph.neighbors(node.action)) {
+      EXPECT_GE(graph.edge_visits(node.action,
+                                  graph.node(neighbor).action),
+                1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzzSweep,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 9001u));
+
+// ---------------------------------------------------------------------------
+// Reward model: Eq. (1) is linear in each slice's target KPI.
+// ---------------------------------------------------------------------------
+
+class RewardLinearitySweep
+    : public ::testing::TestWithParam<core::AgentProfile> {};
+
+TEST_P(RewardLinearitySweep, RewardIsAffineInTargetKpis) {
+  const core::RewardModel model(core::weights_for(GetParam()));
+  common::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = random_report(rng);
+    const auto b = random_report(rng);
+    // r(a) + r(b) == r(a + b) for slice-aggregated reports (linearity).
+    netsim::KpiReport sum;
+    for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
+      sum.slices[s].tx_bitrate_mbps = {a.slices[s].tx_bitrate_mbps[0] +
+                                       b.slices[s].tx_bitrate_mbps[0]};
+      sum.slices[s].tx_packets = {a.slices[s].tx_packets[0] +
+                                  b.slices[s].tx_packets[0]};
+      sum.slices[s].buffer_bytes = {a.slices[s].buffer_bytes[0] +
+                                    b.slices[s].buffer_bytes[0]};
+    }
+    EXPECT_NEAR(model.from_report(a) + model.from_report(b),
+                model.from_report(sum), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, RewardLinearitySweep,
+                         ::testing::Values(
+                             core::AgentProfile::kHighThroughput,
+                             core::AgentProfile::kLowLatency));
+
+// ---------------------------------------------------------------------------
+// PPO across seeds: sampled actions always valid, logprobs consistent.
+// ---------------------------------------------------------------------------
+
+class PpoSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PpoSeedSweep, SampledActionsValidForAnyInit) {
+  ml::PpoAgent::Config config;
+  config.state_dim = ml::kLatentDim;
+  config.hidden_dim = 32;
+  ml::PpoAgent agent(config, GetParam());
+  common::Rng rng(GetParam() ^ 0xf00d);
+  for (int i = 0; i < 100; ++i) {
+    ml::Vector state(ml::kLatentDim);
+    for (auto& v : state) v = rng.uniform(-1.0, 1.0);
+    const auto decision = agent.act(state, rng);
+    EXPECT_LT(decision.action.prb_choice, netsim::prb_catalog().size());
+    EXPECT_LE(decision.log_prob, 1e-12);
+    EXPECT_TRUE(std::isfinite(decision.value));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PpoSeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---------------------------------------------------------------------------
+// Simulator failure injection / degenerate configurations.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, SliceWithZeroPrbsStarvesButDoesNotCrash) {
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 1, 1};
+  auto gnb = netsim::make_gnb(scenario);
+  netsim::SlicingControl control;
+  control.prbs = {50, 0, 0};
+  control.scheduling = {netsim::SchedulerPolicy::kProportionalFair,
+                        netsim::SchedulerPolicy::kProportionalFair,
+                        netsim::SchedulerPolicy::kProportionalFair};
+  gnb->apply_control(control);
+  double urllc_bytes_served = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto report = gnb->run_report_window();
+    urllc_bytes_served +=
+        report.value(netsim::Kpi::kTxBitrate, netsim::Slice::kUrllc);
+  }
+  EXPECT_DOUBLE_EQ(urllc_bytes_served, 0.0);  // fully starved
+  // The starved slice's buffer saturates at the UE cap instead of growing
+  // without bound.
+  const auto report = gnb->run_report_window();
+  EXPECT_LE(report.value(netsim::Kpi::kBufferSize, netsim::Slice::kUrllc),
+            2'000'000.0 + 1.0);
+}
+
+TEST(FailureInjection, EmptySliceProducesEmptyKpiVectors) {
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 0, 1};  // no mMTC users
+  auto gnb = netsim::make_gnb(scenario);
+  const auto report = gnb->run_report_window();
+  EXPECT_TRUE(report.slices[1].tx_bitrate_mbps.empty());
+  EXPECT_DOUBLE_EQ(report.value(netsim::Kpi::kTxPackets,
+                                netsim::Slice::kMmtc),
+                   0.0);
+}
+
+TEST(FailureInjection, AllUesDetachedFromSliceMidRun) {
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 2, 1};
+  auto gnb = netsim::make_gnb(scenario);
+  for (int i = 0; i < 10; ++i) (void)gnb->run_report_window();
+  EXPECT_TRUE(gnb->detach_one_ue(netsim::Slice::kMmtc));
+  EXPECT_TRUE(gnb->detach_one_ue(netsim::Slice::kMmtc));
+  // Scheduling an empty slice must be a no-op.
+  for (int i = 0; i < 10; ++i) (void)gnb->run_report_window();
+  EXPECT_EQ(gnb->slice_ues(netsim::Slice::kMmtc).size(), 0u);
+}
+
+TEST(Mobility, MovingUeChangesItsChannel) {
+  netsim::ChannelConfig config;
+  config.fading_enabled = false;  // isolate the mobility effect
+  netsim::UeChannel channel(800.0, config, common::Rng(3));
+  netsim::MobilityConfig mobility;
+  mobility.speed_mps = 30.0;
+  mobility.min_distance_m = 200.0;
+  mobility.max_distance_m = 2000.0;
+  channel.set_mobility(mobility);
+  const double initial = channel.distance_m();
+  for (int tti = 0; tti < 10'000; ++tti) channel.advance();
+  EXPECT_NE(channel.distance_m(), initial);
+  EXPECT_GE(channel.distance_m(), mobility.min_distance_m);
+  EXPECT_LE(channel.distance_m(), mobility.max_distance_m);
+}
+
+TEST(Mobility, StaysWithinBandForLongWalks) {
+  netsim::ChannelConfig config;
+  netsim::UeChannel channel(500.0, config, common::Rng(11));
+  netsim::MobilityConfig mobility;
+  mobility.speed_mps = 100.0;  // aggressive drift
+  mobility.min_distance_m = 400.0;
+  mobility.max_distance_m = 700.0;
+  channel.set_mobility(mobility);
+  for (int tti = 0; tti < 200'000; ++tti) {
+    channel.advance();
+    ASSERT_GE(channel.distance_m(), mobility.min_distance_m);
+    ASSERT_LE(channel.distance_m(), mobility.max_distance_m);
+  }
+}
+
+TEST(Mobility, ScenarioPlumbsSpeedThrough) {
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 0, 0};
+  scenario.mobility_speed_mps = 50.0;
+  auto gnb = netsim::make_gnb(scenario);
+  const netsim::Ue* ue = gnb->slice_ues(netsim::Slice::kEmbb)[0];
+  const double initial = ue->channel().distance_m();
+  for (int i = 0; i < 400; ++i) (void)gnb->run_report_window();  // 10 s
+  EXPECT_NE(ue->channel().distance_m(), initial);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment determinism across seeds (each seed reproducible, different
+// seeds produce different trajectories).
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, DifferentScenarioSeedsDiverge) {
+  harness::TrainingConfig training;
+  training.collection_steps = 20;
+  training.autoencoder.epochs = 3;
+  training.ppo_iterations = 1;
+  training.steps_per_iteration = 16;
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 1, 1};
+  const auto system = harness::train_system(
+      core::AgentProfile::kHighThroughput, scenario, training);
+
+  harness::ExperimentOptions options;
+  options.decisions = 10;
+  auto run_with_seed = [&](std::uint64_t seed) {
+    netsim::ScenarioConfig seeded = scenario;
+    seeded.seed = seed;
+    return harness::run_experiment(system, seeded, options, training);
+  };
+  const auto a = run_with_seed(1);
+  const auto b = run_with_seed(2);
+  EXPECT_NE(a.embb_bitrate_mbps, b.embb_bitrate_mbps);
+}
+
+}  // namespace
+}  // namespace explora

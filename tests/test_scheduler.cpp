@@ -1,0 +1,207 @@
+// Unit tests for the per-slice MAC schedulers (netsim/scheduler).
+#include "netsim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace explora::netsim {
+namespace {
+
+/// Unlimited backlog source (full-buffer traffic model).
+class FullBufferSource final : public TrafficSource {
+ public:
+  ArrivalBatch arrivals(Tick /*now*/) override {
+    return {.bytes = 125000, .packets = 100};  // plenty every TTI
+  }
+  double offered_bps() const noexcept override { return 1e9; }
+};
+
+/// Builds a UE at a given distance with a deterministic channel.
+std::unique_ptr<Ue> make_ue(std::uint32_t id, double distance) {
+  ChannelConfig config;
+  config.fading_enabled = false;
+  return std::make_unique<Ue>(
+      id, Slice::kEmbb, UeChannel(distance, config, common::Rng(id + 1)),
+      std::make_unique<FullBufferSource>(), 10'000'000);
+}
+
+std::uint64_t run_ttis(Scheduler& scheduler, std::vector<std::unique_ptr<Ue>>& ues,
+                       std::uint32_t prbs, int ttis) {
+  std::vector<Ue*> raw;
+  for (auto& ue : ues) raw.push_back(ue.get());
+  std::uint64_t total = 0;
+  for (int t = 0; t < ttis; ++t) {
+    for (auto& ue : ues) ue->begin_tti(t);
+    scheduler.schedule_tti(raw, prbs);
+  }
+  for (auto& ue : ues) total += ue->harvest_window().tx_bytes;
+  return total;
+}
+
+std::vector<std::uint64_t> per_ue_bytes(std::vector<std::unique_ptr<Ue>>& ues) {
+  std::vector<std::uint64_t> out;
+  for (auto& ue : ues) out.push_back(ue->harvest_window().tx_bytes);
+  return out;
+}
+
+TEST(SchedulerFactory, CreatesRequestedPolicy) {
+  EXPECT_EQ(make_scheduler(SchedulerPolicy::kRoundRobin)->policy(),
+            SchedulerPolicy::kRoundRobin);
+  EXPECT_EQ(make_scheduler(SchedulerPolicy::kWaterfilling)->policy(),
+            SchedulerPolicy::kWaterfilling);
+  EXPECT_EQ(make_scheduler(SchedulerPolicy::kProportionalFair)->policy(),
+            SchedulerPolicy::kProportionalFair);
+}
+
+TEST(RoundRobin, SplitsEvenlyAmongEqualUes) {
+  std::vector<std::unique_ptr<Ue>> ues;
+  ues.push_back(make_ue(0, 800.0));
+  ues.push_back(make_ue(1, 800.0));
+  RoundRobinScheduler scheduler;
+  std::vector<Ue*> raw{ues[0].get(), ues[1].get()};
+  for (int t = 0; t < 100; ++t) {
+    for (auto& ue : ues) ue->begin_tti(t);
+    scheduler.schedule_tti(raw, 10);
+  }
+  const auto bytes = per_ue_bytes(ues);
+  EXPECT_NEAR(static_cast<double>(bytes[0]),
+              static_cast<double>(bytes[1]),
+              static_cast<double>(bytes[0]) * 0.02);
+}
+
+TEST(RoundRobin, ZeroBudgetServesNothing) {
+  std::vector<std::unique_ptr<Ue>> ues;
+  ues.push_back(make_ue(0, 800.0));
+  RoundRobinScheduler scheduler;
+  EXPECT_EQ(run_ttis(scheduler, ues, 0, 10), 0u);
+}
+
+TEST(RoundRobin, EmptyUeListIsSafe) {
+  RoundRobinScheduler scheduler;
+  std::vector<Ue*> none;
+  scheduler.schedule_tti(none, 10);  // must not crash
+}
+
+TEST(RoundRobin, OddBudgetDoesNotStarveAnyUe) {
+  std::vector<std::unique_ptr<Ue>> ues;
+  for (std::uint32_t i = 0; i < 3; ++i) ues.push_back(make_ue(i, 800.0));
+  RoundRobinScheduler scheduler;
+  std::vector<Ue*> raw;
+  for (auto& ue : ues) raw.push_back(ue.get());
+  for (int t = 0; t < 300; ++t) {
+    for (auto& ue : ues) ue->begin_tti(t);
+    scheduler.schedule_tti(raw, 7);  // 7 PRBs over 3 users
+  }
+  const auto bytes = per_ue_bytes(ues);
+  for (std::uint64_t b : bytes) EXPECT_GT(b, 0u);
+  const auto [min_it, max_it] = std::minmax_element(bytes.begin(), bytes.end());
+  EXPECT_LT(static_cast<double>(*max_it - *min_it),
+            static_cast<double>(*max_it) * 0.05);
+}
+
+TEST(Waterfilling, FavorsBestChannel) {
+  std::vector<std::unique_ptr<Ue>> ues;
+  ues.push_back(make_ue(0, 400.0));   // strong
+  ues.push_back(make_ue(1, 1600.0));  // weak
+  WaterfillingScheduler scheduler;
+  std::vector<Ue*> raw{ues[0].get(), ues[1].get()};
+  for (int t = 0; t < 100; ++t) {
+    for (auto& ue : ues) ue->begin_tti(t);
+    scheduler.schedule_tti(raw, 10);
+  }
+  const auto bytes = per_ue_bytes(ues);
+  // Full-buffer users: the greedy policy gives everything to the strong UE.
+  EXPECT_GT(bytes[0], 0u);
+  EXPECT_EQ(bytes[1], 0u);
+}
+
+TEST(Waterfilling, SpillsOverWhenStrongUserDrains) {
+  // Strong user with little data: the remaining budget reaches the weak one.
+  class TrickleSource final : public TrafficSource {
+   public:
+    ArrivalBatch arrivals(Tick now) override {
+      return now == 0 ? ArrivalBatch{.bytes = 125, .packets = 1}
+                      : ArrivalBatch{};
+    }
+    double offered_bps() const noexcept override { return 1e3; }
+  };
+  ChannelConfig config;
+  config.fading_enabled = false;
+  std::vector<std::unique_ptr<Ue>> ues;
+  ues.push_back(std::make_unique<Ue>(
+      0, Slice::kEmbb, UeChannel(400.0, config, common::Rng(1)),
+      std::make_unique<TrickleSource>()));
+  ues.push_back(make_ue(1, 1600.0));
+  WaterfillingScheduler scheduler;
+  std::vector<Ue*> raw{ues[0].get(), ues[1].get()};
+  for (int t = 0; t < 10; ++t) {
+    for (auto& ue : ues) ue->begin_tti(t);
+    scheduler.schedule_tti(raw, 10);
+  }
+  const auto bytes = per_ue_bytes(ues);
+  EXPECT_GT(bytes[1], 0u);
+}
+
+TEST(ProportionalFair, BalancesThroughputAndFairness) {
+  // PF should give the weak user a non-trivial share (unlike WF) while
+  // still favoring the strong one (unlike RR in *throughput* terms).
+  std::vector<std::unique_ptr<Ue>> ues;
+  ues.push_back(make_ue(0, 400.0));
+  ues.push_back(make_ue(1, 1600.0));
+  ProportionalFairScheduler scheduler(0.05);
+  std::vector<Ue*> raw{ues[0].get(), ues[1].get()};
+  for (int t = 0; t < 500; ++t) {
+    for (auto& ue : ues) ue->begin_tti(t);
+    scheduler.schedule_tti(raw, 10);
+  }
+  const auto bytes = per_ue_bytes(ues);
+  EXPECT_GT(bytes[1], 0u);                 // weak UE is not starved
+  EXPECT_GT(bytes[0], bytes[1]);           // strong UE still ahead
+}
+
+TEST(ProportionalFair, EqualChannelsShareEvenly) {
+  std::vector<std::unique_ptr<Ue>> ues;
+  ues.push_back(make_ue(0, 800.0));
+  ues.push_back(make_ue(1, 800.0));
+  ProportionalFairScheduler scheduler(0.1);
+  std::vector<Ue*> raw{ues[0].get(), ues[1].get()};
+  for (int t = 0; t < 500; ++t) {
+    for (auto& ue : ues) ue->begin_tti(t);
+    scheduler.schedule_tti(raw, 10);
+  }
+  const auto bytes = per_ue_bytes(ues);
+  EXPECT_NEAR(static_cast<double>(bytes[0]),
+              static_cast<double>(bytes[1]),
+              static_cast<double>(bytes[0]) * 0.05);
+}
+
+// Property sweep: throughput ordering WF >= PF >= RR for the *sum* rate
+// when channels differ (textbook scheduler property), for several budgets.
+class SchedulerOrderingSweep : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(SchedulerOrderingSweep, SumThroughputOrdering) {
+  const std::uint32_t budget = GetParam();
+  auto run = [&](SchedulerPolicy policy) {
+    std::vector<std::unique_ptr<Ue>> ues;
+    ues.push_back(make_ue(0, 400.0));
+    ues.push_back(make_ue(1, 1600.0));
+    auto scheduler = make_scheduler(policy, 0.05);
+    return run_ttis(*scheduler, ues, budget, 300);
+  };
+  const auto wf = run(SchedulerPolicy::kWaterfilling);
+  const auto pf = run(SchedulerPolicy::kProportionalFair);
+  const auto rr = run(SchedulerPolicy::kRoundRobin);
+  EXPECT_GE(wf, pf);
+  EXPECT_GE(pf, rr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SchedulerOrderingSweep,
+                         ::testing::Values(5u, 10u, 20u, 50u));
+
+}  // namespace
+}  // namespace explora::netsim

@@ -1,0 +1,168 @@
+// Tests for the SHAP explainer (xai/shap): the Shapley axioms on models
+// with known closed-form attributions.
+#include "xai/shap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace explora::xai {
+namespace {
+
+/// A linear model f(x) = w . x has exact Shapley values
+/// phi_i = w_i * (x_i - E[background_i]).
+ModelFn linear_model(Vector weights) {
+  return [weights = std::move(weights)](const Vector& x) {
+    double y = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) y += weights[i] * x[i];
+    return Vector{y};
+  };
+}
+
+std::vector<Vector> random_background(std::size_t n, std::size_t dims,
+                                      std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Vector> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector row(dims);
+    for (double& v : row) v = rng.uniform(-1.0, 1.0);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Vector background_mean(const std::vector<Vector>& background) {
+  Vector mean(background.front().size(), 0.0);
+  for (const auto& row : background) {
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += row[i];
+  }
+  for (double& v : mean) v /= static_cast<double>(background.size());
+  return mean;
+}
+
+TEST(Shap, ExactLinearModelAttributions) {
+  const Vector weights{2.0, -1.0, 0.5};
+  auto background = random_background(16, 3, 1);
+  const Vector mean = background_mean(background);
+  ShapExplainer explainer(linear_model(weights), background);
+
+  const Vector x{1.0, 1.0, 1.0};
+  const Vector phi = explainer.explain(x, 0);
+  ASSERT_EQ(phi.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(phi[i], weights[i] * (x[i] - mean[i]), 1e-9);
+  }
+}
+
+TEST(Shap, EfficiencyAxiom) {
+  // sum_i phi_i = f(x) - E[f(background)] must hold exactly.
+  auto model = [](const Vector& x) {
+    return Vector{x[0] * x[1] + 3.0 * x[2] + std::sin(x[0])};
+  };
+  auto background = random_background(8, 3, 3);
+  ShapExplainer explainer(model, background);
+
+  const Vector x{0.7, -0.4, 0.9};
+  const Vector phi = explainer.explain(x, 0);
+  const double base = explainer.base_values()[0];
+  const double fx = model(x)[0];
+  double total = base;
+  for (double p : phi) total += p;
+  EXPECT_NEAR(total, fx, 1e-9);
+}
+
+TEST(Shap, DummyFeatureGetsZero) {
+  // Feature 2 never affects the output -> its Shapley value is 0.
+  auto model = [](const Vector& x) { return Vector{x[0] + 2.0 * x[1]}; };
+  auto background = random_background(8, 3, 5);
+  ShapExplainer explainer(model, background);
+  const Vector phi = explainer.explain({1.0, 2.0, 100.0}, 0);
+  EXPECT_NEAR(phi[2], 0.0, 1e-12);
+}
+
+TEST(Shap, SymmetryAxiom) {
+  // f = x0 + x1, identical inputs and identical background marginals ->
+  // equal attributions.
+  auto model = [](const Vector& x) { return Vector{x[0] + x[1]}; };
+  std::vector<Vector> background{{0.0, 0.0}, {1.0, 1.0}, {0.5, 0.5}};
+  ShapExplainer explainer(model, background);
+  const Vector phi = explainer.explain({0.8, 0.8}, 0);
+  EXPECT_NEAR(phi[0], phi[1], 1e-12);
+}
+
+TEST(Shap, MultiOutputExplanations) {
+  auto model = [](const Vector& x) {
+    return Vector{x[0], -x[0], x[1]};
+  };
+  auto background = random_background(4, 2, 7);
+  ShapExplainer explainer(model, background);
+  const auto all = explainer.explain_all_outputs({1.0, 2.0});
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_NEAR(all[0][0], -all[1][0], 1e-12);  // outputs 0/1 mirror on x0
+  EXPECT_NEAR(all[0][1], 0.0, 1e-12);         // output 0 ignores x1
+}
+
+TEST(Shap, SamplingApproximatesExact) {
+  auto model = [](const Vector& x) {
+    return Vector{x[0] * x[1] - 0.5 * x[2] + x[3]};
+  };
+  auto background = random_background(8, 4, 9);
+
+  ShapExplainer exact(model, background);
+  const Vector x{0.2, -0.8, 0.5, 1.0};
+  const Vector phi_exact = exact.explain(x, 0);
+
+  ShapExplainer::Config config;
+  config.mode = ShapExplainer::Mode::kSampling;
+  config.permutations = 400;
+  ShapExplainer sampler(model, background, config);
+  const Vector phi_sampled = sampler.explain(x, 0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(phi_sampled[i], phi_exact[i], 0.12);
+  }
+}
+
+TEST(Shap, ExactEvaluationCountIsExponential) {
+  auto model = [](const Vector& x) { return Vector{x[0]}; };
+  auto background = random_background(4, 5, 11);
+  ShapExplainer explainer(model, background);
+  (void)explainer.explain(Vector(5, 0.3), 0);
+  // 2^5 coalitions x 4 background rows = 128 model evaluations (this is
+  // exactly the cost driver Fig. 4 measures).
+  EXPECT_EQ(explainer.model_evaluations(), 128u);
+  explainer.reset_evaluation_counter();
+  EXPECT_EQ(explainer.model_evaluations(), 0u);
+}
+
+TEST(Shap, BackgroundSubsamplingCapsCost) {
+  auto model = [](const Vector& x) { return Vector{x[0]}; };
+  ShapExplainer::Config config;
+  config.max_background = 4;
+  ShapExplainer explainer(model, random_background(100, 3, 13), config);
+  (void)explainer.explain(Vector(3, 0.0), 0);
+  EXPECT_EQ(explainer.model_evaluations(), (1u << 3) * 4u);
+}
+
+TEST(Shap, SamplingIsDeterministicPerSeed) {
+  auto model = [](const Vector& x) { return Vector{x[0] * x[1]}; };
+  auto background = random_background(6, 2, 15);
+  ShapExplainer::Config config;
+  config.mode = ShapExplainer::Mode::kSampling;
+  config.permutations = 32;
+  config.seed = 1234;
+  ShapExplainer a(model, background, config);
+  ShapExplainer b(model, background, config);
+  EXPECT_EQ(a.explain({0.5, 0.5}, 0), b.explain({0.5, 0.5}, 0));
+}
+
+TEST(Factorial, KnownValues) {
+  EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(1), 1.0);
+  EXPECT_DOUBLE_EQ(factorial(5), 120.0);
+  EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+}
+
+}  // namespace
+}  // namespace explora::xai

@@ -1,0 +1,87 @@
+// Tests for action shielding (explora/shield, the paper's Opt 2).
+#include "explora/shield.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace explora::core {
+namespace {
+
+netsim::SlicingControl control(std::uint32_t embb, std::uint32_t mmtc,
+                               std::uint32_t urllc, int sched = 0) {
+  netsim::SlicingControl out;
+  out.prbs = {embb, mmtc, urllc};
+  out.scheduling = {static_cast<netsim::SchedulerPolicy>(sched),
+                    static_cast<netsim::SchedulerPolicy>(sched),
+                    static_cast<netsim::SchedulerPolicy>(sched)};
+  return out;
+}
+
+TEST(ActionShield, CompliantActionsPassThrough) {
+  ActionShield shield(control(18, 15, 17));
+  shield.add_rule(ActionShield::min_prbs_rule(netsim::Slice::kUrllc, 5));
+  const auto outcome = shield.apply(control(36, 3, 11));
+  EXPECT_FALSE(outcome.blocked);
+  EXPECT_EQ(outcome.enforced, control(36, 3, 11));
+  EXPECT_EQ(shield.decisions(), 1u);
+  EXPECT_EQ(shield.blocked(), 0u);
+}
+
+TEST(ActionShield, ViolatingActionsAreReplacedByFallback) {
+  const auto fallback = control(18, 15, 17);
+  ActionShield shield(fallback);
+  shield.add_rule(ActionShield::min_prbs_rule(netsim::Slice::kUrllc, 10));
+  const auto outcome = shield.apply(control(42, 3, 5));  // URLLC 5 < 10
+  EXPECT_TRUE(outcome.blocked);
+  EXPECT_EQ(outcome.enforced, fallback);
+  EXPECT_NE(outcome.rationale.find("min-URLLC-prbs-10"), std::string::npos);
+  EXPECT_EQ(shield.blocked(), 1u);
+}
+
+TEST(ActionShield, FirstMatchingRuleWins) {
+  ActionShield shield(control(18, 15, 17));
+  shield.add_rule(ActionShield::min_prbs_rule(netsim::Slice::kUrllc, 10));
+  shield.add_rule(ActionShield::min_prbs_rule(netsim::Slice::kMmtc, 10));
+  const auto outcome = shield.apply(control(42, 3, 5));  // violates both
+  EXPECT_EQ(outcome.violated_rule, "min-URLLC-prbs-10");
+  EXPECT_EQ(shield.blocks_by_rule().at("min-URLLC-prbs-10"), 1u);
+  EXPECT_EQ(shield.blocks_by_rule().count("min-mMTC-prbs-10"), 0u);
+}
+
+TEST(ActionShield, BanActionRule) {
+  ActionShield shield(control(18, 15, 17));
+  const auto banned = control(42, 3, 5, 2);
+  shield.add_rule(ActionShield::ban_action_rule(banned));
+  EXPECT_TRUE(shield.apply(banned).blocked);
+  EXPECT_FALSE(shield.apply(control(42, 3, 5, 1)).blocked);
+}
+
+TEST(ActionShield, BanSchedulerRule) {
+  ActionShield shield(control(18, 15, 17, 0));
+  shield.add_rule(ActionShield::ban_scheduler_rule(
+      netsim::Slice::kUrllc, netsim::SchedulerPolicy::kWaterfilling));
+  auto violating = control(18, 15, 17, 0);
+  violating.scheduling[2] = netsim::SchedulerPolicy::kWaterfilling;
+  EXPECT_TRUE(shield.apply(violating).blocked);
+  violating.scheduling[2] = netsim::SchedulerPolicy::kProportionalFair;
+  EXPECT_FALSE(shield.apply(violating).blocked);
+}
+
+TEST(ActionShield, RejectsSelfViolatingFallback) {
+  ActionShield shield(control(42, 3, 5));
+  EXPECT_THROW(
+      shield.add_rule(ActionShield::min_prbs_rule(netsim::Slice::kUrllc, 10)),
+      std::invalid_argument);
+  EXPECT_EQ(shield.rule_count(), 0u);  // the bad rule was not kept
+}
+
+TEST(ActionShield, NoRulesMeansNoBlocking) {
+  ActionShield shield(control(18, 15, 17));
+  for (std::uint32_t embb : {6u, 24u, 42u}) {
+    EXPECT_FALSE(shield.apply(control(embb, 3, 50 - embb - 3)).blocked);
+  }
+}
+
+}  // namespace
+}  // namespace explora::core

@@ -1,0 +1,66 @@
+// Unit tests for the console table / CDF renderers (common/table).
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace explora::common {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+  // Header rule + bottom rule + separator = 3 rule lines.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find('+'); pos != std::string::npos;
+       pos = out.find("\n+", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(TextTable, ColumnsWidenToContent) {
+  TextTable table({"x"});
+  table.add_row({"very-long-cell"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("very-long-cell"), std::string::npos);
+}
+
+TEST(Fmt, Decimals) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(-2.5, 1), "-2.5");
+}
+
+TEST(RenderCdf, ContainsQuantileRows) {
+  std::vector<double> data;
+  for (int i = 0; i <= 100; ++i) data.push_back(i);
+  const std::string out = render_cdf("latency", data, "ms");
+  EXPECT_NE(out.find("CDF: latency"), std::string::npos);
+  EXPECT_NE(out.find("p0"), std::string::npos);
+  EXPECT_NE(out.find("p100"), std::string::npos);
+  EXPECT_NE(out.find("ms"), std::string::npos);
+}
+
+TEST(RenderCdf, EmptyData) {
+  const std::string out = render_cdf("empty", {}, "ms");
+  EXPECT_NE(out.find("<no data>"), std::string::npos);
+}
+
+TEST(RenderCdfComparison, ReportsMedianDelta) {
+  std::vector<double> a(100, 10.0);
+  std::vector<double> b(100, 11.0);
+  const std::string out = render_cdf_comparison("test", "base", a, "new", b,
+                                                "Mbps");
+  EXPECT_NE(out.find("median"), std::string::npos);
+  EXPECT_NE(out.find("+10.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace explora::common

@@ -1,0 +1,201 @@
+// Tests for the CART trees (xai/tree).
+#include "xai/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace explora::xai {
+namespace {
+
+/// Axis-separable two-class dataset: class = x0 > threshold.
+Dataset separable_dataset(std::size_t n, double threshold,
+                          std::uint64_t seed) {
+  common::Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector x{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    data.labels.push_back(x[0] > threshold ? 1u : 0u);
+    data.features.push_back(std::move(x));
+  }
+  return data;
+}
+
+/// 2D XOR dataset (requires depth >= 2).
+Dataset xor_dataset(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector x{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)};
+    data.labels.push_back((x[0] > 0.5) != (x[1] > 0.5) ? 1u : 0u);
+    data.features.push_back(std::move(x));
+  }
+  return data;
+}
+
+TEST(DecisionTree, PerfectOnAxisSeparableData) {
+  const Dataset data = separable_dataset(200, 0.4, 1);
+  DecisionTreeClassifier tree;
+  tree.fit(data, 2);
+  EXPECT_DOUBLE_EQ(tree.accuracy(data), 1.0);
+}
+
+TEST(DecisionTree, SolvesXorWithDepthThree) {
+  // Greedy CART has (near-)zero gain at the XOR root, so the first split
+  // lands at an arbitrary position; one extra level recovers the corners.
+  const Dataset data = xor_dataset(400, 3);
+  DecisionTreeClassifier::Config config;
+  config.max_depth = 3;
+  config.min_samples_leaf = 1;
+  DecisionTreeClassifier tree(config);
+  tree.fit(data, 2);
+  EXPECT_GT(tree.accuracy(data), 0.9);
+}
+
+TEST(DecisionTree, DepthOneCannotSolveXor) {
+  const Dataset data = xor_dataset(400, 5);
+  DecisionTreeClassifier::Config config;
+  config.max_depth = 1;
+  DecisionTreeClassifier tree(config);
+  tree.fit(data, 2);
+  EXPECT_LT(tree.accuracy(data), 0.7);
+  EXPECT_LE(tree.depth(), 2u);  // root + leaves
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+  const Dataset data = separable_dataset(40, 0.5, 7);
+  DecisionTreeClassifier::Config config;
+  config.min_samples_leaf = 25;  // no split can satisfy this
+  DecisionTreeClassifier tree(config);
+  tree.fit(data, 2);
+  EXPECT_EQ(tree.node_count(), 1u);  // a single leaf
+}
+
+TEST(DecisionTree, PredictProbaSumsToOne) {
+  const Dataset data = xor_dataset(100, 9);
+  DecisionTreeClassifier tree;
+  tree.fit(data, 2);
+  const Vector probs = tree.predict_proba({0.3, 0.8});
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-12);
+}
+
+TEST(DecisionTree, FeatureImportancesIdentifyRelevantFeature) {
+  const Dataset data = separable_dataset(300, 0.5, 11);
+  DecisionTreeClassifier tree;
+  tree.fit(data, 2);
+  const Vector importances = tree.feature_importances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_GT(importances[0], 0.9);  // x0 carries all the signal
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, RulesMentionFeatureAndClassNames) {
+  const Dataset data = separable_dataset(200, 0.5, 13);
+  DecisionTreeClassifier tree;
+  tree.fit(data, 2);
+  const std::string rules = tree.to_rules({"alpha", "beta"}, {"low", "high"});
+  EXPECT_NE(rules.find("alpha"), std::string::npos);
+  EXPECT_NE(rules.find("low"), std::string::npos);
+  EXPECT_NE(rules.find("high"), std::string::npos);
+}
+
+TEST(DecisionTree, DecisionPathsCoverAllLeaves) {
+  const Dataset data = xor_dataset(400, 15);
+  DecisionTreeClassifier::Config config;
+  config.max_depth = 2;
+  config.min_samples_leaf = 1;
+  DecisionTreeClassifier tree(config);
+  tree.fit(data, 2);
+  const auto paths = tree.decision_paths({"x0", "x1"}, {"zero", "one"});
+  EXPECT_GE(paths.size(), 3u);
+  for (const auto& path : paths) {
+    EXPECT_NE(path.find("->"), std::string::npos);
+  }
+}
+
+TEST(DecisionTree, EntropyCriterionAlsoWorks) {
+  const Dataset data = separable_dataset(200, 0.5, 17);
+  DecisionTreeClassifier::Config config;
+  config.criterion = DecisionTreeClassifier::Criterion::kEntropy;
+  DecisionTreeClassifier tree(config);
+  tree.fit(data, 2);
+  EXPECT_DOUBLE_EQ(tree.accuracy(data), 1.0);
+}
+
+TEST(DecisionTree, MulticlassLabels) {
+  common::Rng rng(19);
+  Dataset data;
+  for (int i = 0; i < 300; ++i) {
+    Vector x{rng.uniform(0.0, 3.0)};
+    data.labels.push_back(static_cast<std::size_t>(x[0]));  // 0, 1, 2
+    data.features.push_back(std::move(x));
+  }
+  DecisionTreeClassifier tree;
+  tree.fit(data, 3);
+  EXPECT_GT(tree.accuracy(data), 0.98);
+  EXPECT_EQ(tree.num_classes(), 3u);
+}
+
+TEST(RegressionTree, FitsStepFunction) {
+  std::vector<Vector> features;
+  Vector targets;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i) / 100.0;
+    features.push_back({x});
+    targets.push_back(x < 0.5 ? -1.0 : 1.0);
+  }
+  RegressionTree tree;
+  tree.fit(features, targets);
+  EXPECT_NEAR(tree.predict({0.2}), -1.0, 1e-9);
+  EXPECT_NEAR(tree.predict({0.9}), 1.0, 1e-9);
+}
+
+TEST(RegressionTree, ConstantTargetsYieldSingleLeaf) {
+  std::vector<Vector> features{{0.0}, {1.0}, {2.0}};
+  Vector targets{5.0, 5.0, 5.0};
+  RegressionTree tree;
+  tree.fit(features, targets);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({7.0}), 5.0);
+}
+
+TEST(RegressionTree, DepthLimitCapsPiecewiseResolution) {
+  std::vector<Vector> features;
+  Vector targets;
+  for (int i = 0; i < 64; ++i) {
+    features.push_back({static_cast<double>(i)});
+    targets.push_back(static_cast<double>(i));
+  }
+  RegressionTree::Config config;
+  config.max_depth = 2;  // at most 4 leaves
+  RegressionTree tree(config);
+  tree.fit(features, targets);
+  EXPECT_LE(tree.node_count(), 7u);
+}
+
+// Property sweep: deeper trees never fit the training data worse.
+class TreeDepthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeDepthSweep, TrainingAccuracyMonotoneInDepth) {
+  const Dataset data = xor_dataset(500, 21);
+  DecisionTreeClassifier::Config shallow_config;
+  shallow_config.max_depth = GetParam();
+  shallow_config.min_samples_leaf = 1;
+  DecisionTreeClassifier shallow(shallow_config);
+  shallow.fit(data, 2);
+
+  DecisionTreeClassifier::Config deeper_config = shallow_config;
+  deeper_config.max_depth = GetParam() + 1;
+  DecisionTreeClassifier deeper(deeper_config);
+  deeper.fit(data, 2);
+
+  EXPECT_GE(deeper.accuracy(data) + 1e-12, shallow.accuracy(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepthSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace explora::xai

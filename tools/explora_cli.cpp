@@ -1,0 +1,234 @@
+// explora_cli — command-line front end to the library.
+//
+//   explora_cli train   --profile HT|LL [--traffic TRF1|TRF2] [--users N]
+//                       [--seed S]
+//   explora_cli run     --profile HT|LL [--traffic ...] [--users N]
+//                       [--decisions N] [--steer AR1|AR2|AR3] [--window O]
+//                       [--temperature T] [--seed S]
+//   explora_cli explain --profile HT|LL [--traffic ...] [--users N]
+//                       [--decisions N] [--seed S]
+//   explora_cli graph   --profile HT|LL [--decisions N] [--dot FILE]
+//                       [--min-visits V] [--seed S]
+//
+// All subcommands train (or load from the artifact cache) the requested
+// agent first; see README.md for the cache location.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/format.hpp"
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "explora/distill.hpp"
+#include "harness/experiment.hpp"
+#include "harness/training.hpp"
+
+namespace {
+
+using namespace explora;
+
+struct CliOptions {
+  std::string command;
+  core::AgentProfile profile = core::AgentProfile::kHighThroughput;
+  netsim::TrafficProfile traffic = netsim::TrafficProfile::kTrf1;
+  std::uint32_t users = 6;
+  std::size_t decisions = 720;
+  std::optional<core::SteeringStrategy> steer;
+  std::size_t window = 10;
+  double temperature = 0.5;
+  std::uint64_t seed = 42;
+  std::string dot_file;
+  std::uint64_t min_visits = 2;
+};
+
+void usage() {
+  std::fputs(
+      "usage: explora_cli <train|run|explain|graph> [options]\n"
+      "  --profile HT|LL       agent profile (default HT)\n"
+      "  --traffic TRF1|TRF2   traffic profile (default TRF1)\n"
+      "  --users N             total users, 1-6 (default 6)\n"
+      "  --decisions N         decision periods to run (default 720)\n"
+      "  --steer AR1|AR2|AR3   enable EDBR steering (run only)\n"
+      "  --window O            steering observation window (default 10)\n"
+      "  --temperature T       PRB-head sampling temperature (default 0.5)\n"
+      "  --seed S              scenario seed (default 42)\n"
+      "  --dot FILE            write the graph as GraphViz dot (graph only)\n"
+      "  --min-visits V        dot: elide nodes under V visits (default 2)\n",
+      stderr);
+}
+
+[[nodiscard]] bool parse(int argc, char** argv, CliOptions& options) {
+  if (argc < 2) return false;
+  options.command = argv[1];
+  for (int i = 2; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    const std::string value = argv[i + 1];
+    if (flag == "--profile") {
+      if (value == "HT") {
+        options.profile = core::AgentProfile::kHighThroughput;
+      } else if (value == "LL") {
+        options.profile = core::AgentProfile::kLowLatency;
+      } else {
+        std::fprintf(stderr, "unknown profile %s\n", value.c_str());
+        return false;
+      }
+    } else if (flag == "--traffic") {
+      if (value == "TRF1") {
+        options.traffic = netsim::TrafficProfile::kTrf1;
+      } else if (value == "TRF2") {
+        options.traffic = netsim::TrafficProfile::kTrf2;
+      } else {
+        std::fprintf(stderr, "unknown traffic profile %s\n", value.c_str());
+        return false;
+      }
+    } else if (flag == "--users") {
+      options.users = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (flag == "--decisions") {
+      options.decisions = std::stoul(value);
+    } else if (flag == "--steer") {
+      static const std::map<std::string, core::SteeringStrategy> strategies{
+          {"AR1", core::SteeringStrategy::kMaxReward},
+          {"AR2", core::SteeringStrategy::kMinReward},
+          {"AR3", core::SteeringStrategy::kImproveBitrate},
+      };
+      const auto it = strategies.find(value);
+      if (it == strategies.end()) {
+        std::fprintf(stderr, "unknown strategy %s\n", value.c_str());
+        return false;
+      }
+      options.steer = it->second;
+    } else if (flag == "--window") {
+      options.window = std::stoul(value);
+    } else if (flag == "--temperature") {
+      options.temperature = std::stod(value);
+    } else if (flag == "--seed") {
+      options.seed = std::stoull(value);
+    } else if (flag == "--dot") {
+      options.dot_file = value;
+    } else if (flag == "--min-visits") {
+      options.min_visits = std::stoull(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] netsim::ScenarioConfig scenario_of(const CliOptions& options) {
+  netsim::ScenarioConfig scenario;
+  scenario.profile = options.traffic;
+  scenario.users_per_slice = netsim::users_for_count(
+      options.users,
+      options.users == 1 ? std::optional(netsim::Slice::kEmbb)
+                         : std::nullopt);
+  scenario.seed = options.seed;
+  return scenario;
+}
+
+[[nodiscard]] harness::ExperimentResult run_once(
+    const CliOptions& options, const harness::TrainedSystem& system) {
+  harness::ExperimentOptions experiment;
+  experiment.decisions = options.decisions;
+  experiment.prb_temperature = options.temperature;
+  if (options.steer.has_value()) {
+    core::ActionSteering::Config steering;
+    steering.strategy = *options.steer;
+    steering.observation_window = options.window;
+    experiment.steering = steering;
+  }
+  return harness::run_experiment(system, scenario_of(options), experiment,
+                                 harness::TrainingConfig{});
+}
+
+int cmd_train(const CliOptions& options) {
+  const auto system = harness::load_or_train(
+      options.profile, scenario_of(options), harness::TrainingConfig{});
+  std::printf("trained %s agent for %s cached under %s\n",
+              core::to_string(options.profile).c_str(),
+              scenario_of(options).name().c_str(),
+              harness::artifact_dir().string().c_str());
+  (void)system;
+  return 0;
+}
+
+int cmd_run(const CliOptions& options) {
+  const auto system = harness::load_or_train(
+      options.profile, scenario_of(options), harness::TrainingConfig{});
+  const auto result = run_once(options, system);
+  common::TextTable table({"metric", "value"});
+  table.add_row({"decisions", std::to_string(result.decisions.size())});
+  table.add_row({"mean reward", common::fmt(result.mean_reward(), 3)});
+  table.add_row({"eMBB bitrate median [Mbps]",
+                 common::fmt(common::median(result.embb_bitrate_mbps), 3)});
+  table.add_row({"URLLC buffer p90 [B]",
+                 common::fmt(common::quantile(result.urllc_buffer_bytes,
+                                              0.9), 0)});
+  table.add_row({"graph nodes", std::to_string(result.graph.node_count())});
+  table.add_row({"controls replaced",
+                 std::to_string(result.controls_replaced)});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_explain(const CliOptions& options) {
+  const auto system = harness::load_or_train(
+      options.profile, scenario_of(options), harness::TrainingConfig{});
+  const auto result = run_once(options, system);
+  const auto knowledge =
+      core::KnowledgeDistiller{}.distill(result.transitions);
+  std::fputs(result.graph.describe().c_str(), stdout);
+  std::puts("");
+  std::fputs(knowledge.rules.c_str(), stdout);
+  std::puts("");
+  std::fputs(knowledge.summary_text.c_str(), stdout);
+  return 0;
+}
+
+int cmd_graph(const CliOptions& options) {
+  const auto system = harness::load_or_train(
+      options.profile, scenario_of(options), harness::TrainingConfig{});
+  const auto result = run_once(options, system);
+  const std::string dot = result.graph.to_dot(options.min_visits);
+  if (options.dot_file.empty()) {
+    std::fputs(dot.c_str(), stdout);
+  } else {
+    std::ofstream out(options.dot_file);
+    out << dot;
+    std::printf("wrote %s (%zu nodes total, min-visits %llu)\n",
+                options.dot_file.c_str(), result.graph.node_count(),
+                static_cast<unsigned long long>(options.min_visits));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::set_log_level(common::LogLevel::kInfo);
+  CliOptions options;
+  if (!parse(argc, argv, options)) {
+    usage();
+    return 2;
+  }
+  try {
+    if (options.command == "train") return cmd_train(options);
+    if (options.command == "run") return cmd_run(options);
+    if (options.command == "explain") return cmd_explain(options);
+    if (options.command == "graph") return cmd_graph(options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", options.command.c_str());
+  usage();
+  return 2;
+}
