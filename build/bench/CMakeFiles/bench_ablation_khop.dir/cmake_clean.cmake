@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_khop.dir/bench_ablation_khop.cpp.o"
+  "CMakeFiles/bench_ablation_khop.dir/bench_ablation_khop.cpp.o.d"
+  "bench_ablation_khop"
+  "bench_ablation_khop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_khop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shield_vs_steer.dir/bench_ablation_shield_vs_steer.cpp.o"
+  "CMakeFiles/bench_ablation_shield_vs_steer.dir/bench_ablation_shield_vs_steer.cpp.o.d"
+  "bench_ablation_shield_vs_steer"
+  "bench_ablation_shield_vs_steer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shield_vs_steer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

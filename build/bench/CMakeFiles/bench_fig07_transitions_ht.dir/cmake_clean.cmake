@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_transitions_ht.dir/bench_fig07_transitions_ht.cpp.o"
+  "CMakeFiles/bench_fig07_transitions_ht.dir/bench_fig07_transitions_ht.cpp.o.d"
+  "bench_fig07_transitions_ht"
+  "bench_fig07_transitions_ht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_transitions_ht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_dt_explanations_ht.dir/bench_fig08_dt_explanations_ht.cpp.o"
+  "CMakeFiles/bench_fig08_dt_explanations_ht.dir/bench_fig08_dt_explanations_ht.cpp.o.d"
+  "bench_fig08_dt_explanations_ht"
+  "bench_fig08_dt_explanations_ht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_dt_explanations_ht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_ar2_minreward.dir/bench_fig09_ar2_minreward.cpp.o"
+  "CMakeFiles/bench_fig09_ar2_minreward.dir/bench_fig09_ar2_minreward.cpp.o.d"
+  "bench_fig09_ar2_minreward"
+  "bench_fig09_ar2_minreward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_ar2_minreward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

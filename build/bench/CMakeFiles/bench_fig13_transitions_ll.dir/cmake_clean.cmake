@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_transitions_ll.dir/bench_fig13_transitions_ll.cpp.o"
+  "CMakeFiles/bench_fig13_transitions_ll.dir/bench_fig13_transitions_ll.cpp.o.d"
+  "bench_fig13_transitions_ll"
+  "bench_fig13_transitions_ll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_transitions_ll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

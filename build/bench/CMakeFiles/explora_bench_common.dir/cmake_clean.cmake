@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explora_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/explora_bench_common.dir/bench_common.cpp.o.d"
+  "libexplora_bench_common.a"
+  "libexplora_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explora_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_steering.dir/action_steering.cpp.o"
+  "CMakeFiles/action_steering.dir/action_steering.cpp.o.d"
+  "action_steering"
+  "action_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_agent.dir/explain_agent.cpp.o"
+  "CMakeFiles/explain_agent.dir/explain_agent.cpp.o.d"
+  "explain_agent"
+  "explain_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

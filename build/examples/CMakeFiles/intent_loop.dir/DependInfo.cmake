@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/intent_loop.cpp" "examples/CMakeFiles/intent_loop.dir/intent_loop.cpp.o" "gcc" "examples/CMakeFiles/intent_loop.dir/intent_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/explora_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/explora/CMakeFiles/explora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oran/CMakeFiles/explora_oran.dir/DependInfo.cmake"
+  "/root/repo/build/src/xai/CMakeFiles/explora_xai.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/explora_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/explora_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/explora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

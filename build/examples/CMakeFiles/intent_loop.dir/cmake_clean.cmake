@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intent_loop.dir/intent_loop.cpp.o"
+  "CMakeFiles/intent_loop.dir/intent_loop.cpp.o.d"
+  "intent_loop"
+  "intent_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intent_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicing_xapp_demo.dir/slicing_xapp_demo.cpp.o"
+  "CMakeFiles/slicing_xapp_demo.dir/slicing_xapp_demo.cpp.o.d"
+  "slicing_xapp_demo"
+  "slicing_xapp_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicing_xapp_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explora_common.dir/format.cpp.o"
+  "CMakeFiles/explora_common.dir/format.cpp.o.d"
+  "CMakeFiles/explora_common.dir/log.cpp.o"
+  "CMakeFiles/explora_common.dir/log.cpp.o.d"
+  "CMakeFiles/explora_common.dir/rng.cpp.o"
+  "CMakeFiles/explora_common.dir/rng.cpp.o.d"
+  "CMakeFiles/explora_common.dir/serialize.cpp.o"
+  "CMakeFiles/explora_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/explora_common.dir/stats.cpp.o"
+  "CMakeFiles/explora_common.dir/stats.cpp.o.d"
+  "CMakeFiles/explora_common.dir/table.cpp.o"
+  "CMakeFiles/explora_common.dir/table.cpp.o.d"
+  "libexplora_common.a"
+  "libexplora_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explora_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexplora_common.a"
+)

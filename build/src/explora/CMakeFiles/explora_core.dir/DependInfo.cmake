@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explora/distill.cpp" "src/explora/CMakeFiles/explora_core.dir/distill.cpp.o" "gcc" "src/explora/CMakeFiles/explora_core.dir/distill.cpp.o.d"
+  "/root/repo/src/explora/edbr.cpp" "src/explora/CMakeFiles/explora_core.dir/edbr.cpp.o" "gcc" "src/explora/CMakeFiles/explora_core.dir/edbr.cpp.o.d"
+  "/root/repo/src/explora/graph.cpp" "src/explora/CMakeFiles/explora_core.dir/graph.cpp.o" "gcc" "src/explora/CMakeFiles/explora_core.dir/graph.cpp.o.d"
+  "/root/repo/src/explora/reward.cpp" "src/explora/CMakeFiles/explora_core.dir/reward.cpp.o" "gcc" "src/explora/CMakeFiles/explora_core.dir/reward.cpp.o.d"
+  "/root/repo/src/explora/shield.cpp" "src/explora/CMakeFiles/explora_core.dir/shield.cpp.o" "gcc" "src/explora/CMakeFiles/explora_core.dir/shield.cpp.o.d"
+  "/root/repo/src/explora/transitions.cpp" "src/explora/CMakeFiles/explora_core.dir/transitions.cpp.o" "gcc" "src/explora/CMakeFiles/explora_core.dir/transitions.cpp.o.d"
+  "/root/repo/src/explora/xapp.cpp" "src/explora/CMakeFiles/explora_core.dir/xapp.cpp.o" "gcc" "src/explora/CMakeFiles/explora_core.dir/xapp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/explora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/explora_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xai/CMakeFiles/explora_xai.dir/DependInfo.cmake"
+  "/root/repo/build/src/oran/CMakeFiles/explora_oran.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/explora_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explora_core.dir/distill.cpp.o"
+  "CMakeFiles/explora_core.dir/distill.cpp.o.d"
+  "CMakeFiles/explora_core.dir/edbr.cpp.o"
+  "CMakeFiles/explora_core.dir/edbr.cpp.o.d"
+  "CMakeFiles/explora_core.dir/graph.cpp.o"
+  "CMakeFiles/explora_core.dir/graph.cpp.o.d"
+  "CMakeFiles/explora_core.dir/reward.cpp.o"
+  "CMakeFiles/explora_core.dir/reward.cpp.o.d"
+  "CMakeFiles/explora_core.dir/shield.cpp.o"
+  "CMakeFiles/explora_core.dir/shield.cpp.o.d"
+  "CMakeFiles/explora_core.dir/transitions.cpp.o"
+  "CMakeFiles/explora_core.dir/transitions.cpp.o.d"
+  "CMakeFiles/explora_core.dir/xapp.cpp.o"
+  "CMakeFiles/explora_core.dir/xapp.cpp.o.d"
+  "libexplora_core.a"
+  "libexplora_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explora_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

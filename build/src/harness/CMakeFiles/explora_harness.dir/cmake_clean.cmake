@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explora_harness.dir/experiment.cpp.o"
+  "CMakeFiles/explora_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/explora_harness.dir/training.cpp.o"
+  "CMakeFiles/explora_harness.dir/training.cpp.o.d"
+  "libexplora_harness.a"
+  "libexplora_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explora_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/a2c.cpp" "src/ml/CMakeFiles/explora_ml.dir/a2c.cpp.o" "gcc" "src/ml/CMakeFiles/explora_ml.dir/a2c.cpp.o.d"
+  "/root/repo/src/ml/autoencoder.cpp" "src/ml/CMakeFiles/explora_ml.dir/autoencoder.cpp.o" "gcc" "src/ml/CMakeFiles/explora_ml.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/ml/dqn.cpp" "src/ml/CMakeFiles/explora_ml.dir/dqn.cpp.o" "gcc" "src/ml/CMakeFiles/explora_ml.dir/dqn.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/explora_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/explora_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/explora_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/explora_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/nn.cpp" "src/ml/CMakeFiles/explora_ml.dir/nn.cpp.o" "gcc" "src/ml/CMakeFiles/explora_ml.dir/nn.cpp.o.d"
+  "/root/repo/src/ml/ppo.cpp" "src/ml/CMakeFiles/explora_ml.dir/ppo.cpp.o" "gcc" "src/ml/CMakeFiles/explora_ml.dir/ppo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/explora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/explora_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explora_ml.dir/a2c.cpp.o"
+  "CMakeFiles/explora_ml.dir/a2c.cpp.o.d"
+  "CMakeFiles/explora_ml.dir/autoencoder.cpp.o"
+  "CMakeFiles/explora_ml.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/explora_ml.dir/dqn.cpp.o"
+  "CMakeFiles/explora_ml.dir/dqn.cpp.o.d"
+  "CMakeFiles/explora_ml.dir/features.cpp.o"
+  "CMakeFiles/explora_ml.dir/features.cpp.o.d"
+  "CMakeFiles/explora_ml.dir/matrix.cpp.o"
+  "CMakeFiles/explora_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/explora_ml.dir/nn.cpp.o"
+  "CMakeFiles/explora_ml.dir/nn.cpp.o.d"
+  "CMakeFiles/explora_ml.dir/ppo.cpp.o"
+  "CMakeFiles/explora_ml.dir/ppo.cpp.o.d"
+  "libexplora_ml.a"
+  "libexplora_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explora_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/channel.cpp" "src/netsim/CMakeFiles/explora_netsim.dir/channel.cpp.o" "gcc" "src/netsim/CMakeFiles/explora_netsim.dir/channel.cpp.o.d"
+  "/root/repo/src/netsim/gnb.cpp" "src/netsim/CMakeFiles/explora_netsim.dir/gnb.cpp.o" "gcc" "src/netsim/CMakeFiles/explora_netsim.dir/gnb.cpp.o.d"
+  "/root/repo/src/netsim/kpi.cpp" "src/netsim/CMakeFiles/explora_netsim.dir/kpi.cpp.o" "gcc" "src/netsim/CMakeFiles/explora_netsim.dir/kpi.cpp.o.d"
+  "/root/repo/src/netsim/scenario.cpp" "src/netsim/CMakeFiles/explora_netsim.dir/scenario.cpp.o" "gcc" "src/netsim/CMakeFiles/explora_netsim.dir/scenario.cpp.o.d"
+  "/root/repo/src/netsim/scheduler.cpp" "src/netsim/CMakeFiles/explora_netsim.dir/scheduler.cpp.o" "gcc" "src/netsim/CMakeFiles/explora_netsim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/netsim/traffic.cpp" "src/netsim/CMakeFiles/explora_netsim.dir/traffic.cpp.o" "gcc" "src/netsim/CMakeFiles/explora_netsim.dir/traffic.cpp.o.d"
+  "/root/repo/src/netsim/types.cpp" "src/netsim/CMakeFiles/explora_netsim.dir/types.cpp.o" "gcc" "src/netsim/CMakeFiles/explora_netsim.dir/types.cpp.o.d"
+  "/root/repo/src/netsim/ue.cpp" "src/netsim/CMakeFiles/explora_netsim.dir/ue.cpp.o" "gcc" "src/netsim/CMakeFiles/explora_netsim.dir/ue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/explora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explora_netsim.dir/channel.cpp.o"
+  "CMakeFiles/explora_netsim.dir/channel.cpp.o.d"
+  "CMakeFiles/explora_netsim.dir/gnb.cpp.o"
+  "CMakeFiles/explora_netsim.dir/gnb.cpp.o.d"
+  "CMakeFiles/explora_netsim.dir/kpi.cpp.o"
+  "CMakeFiles/explora_netsim.dir/kpi.cpp.o.d"
+  "CMakeFiles/explora_netsim.dir/scenario.cpp.o"
+  "CMakeFiles/explora_netsim.dir/scenario.cpp.o.d"
+  "CMakeFiles/explora_netsim.dir/scheduler.cpp.o"
+  "CMakeFiles/explora_netsim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/explora_netsim.dir/traffic.cpp.o"
+  "CMakeFiles/explora_netsim.dir/traffic.cpp.o.d"
+  "CMakeFiles/explora_netsim.dir/types.cpp.o"
+  "CMakeFiles/explora_netsim.dir/types.cpp.o.d"
+  "CMakeFiles/explora_netsim.dir/ue.cpp.o"
+  "CMakeFiles/explora_netsim.dir/ue.cpp.o.d"
+  "libexplora_netsim.a"
+  "libexplora_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explora_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oran/a1.cpp" "src/oran/CMakeFiles/explora_oran.dir/a1.cpp.o" "gcc" "src/oran/CMakeFiles/explora_oran.dir/a1.cpp.o.d"
+  "/root/repo/src/oran/codec.cpp" "src/oran/CMakeFiles/explora_oran.dir/codec.cpp.o" "gcc" "src/oran/CMakeFiles/explora_oran.dir/codec.cpp.o.d"
+  "/root/repo/src/oran/data_repository.cpp" "src/oran/CMakeFiles/explora_oran.dir/data_repository.cpp.o" "gcc" "src/oran/CMakeFiles/explora_oran.dir/data_repository.cpp.o.d"
+  "/root/repo/src/oran/drl_xapp.cpp" "src/oran/CMakeFiles/explora_oran.dir/drl_xapp.cpp.o" "gcc" "src/oran/CMakeFiles/explora_oran.dir/drl_xapp.cpp.o.d"
+  "/root/repo/src/oran/e2_term.cpp" "src/oran/CMakeFiles/explora_oran.dir/e2_term.cpp.o" "gcc" "src/oran/CMakeFiles/explora_oran.dir/e2_term.cpp.o.d"
+  "/root/repo/src/oran/messages.cpp" "src/oran/CMakeFiles/explora_oran.dir/messages.cpp.o" "gcc" "src/oran/CMakeFiles/explora_oran.dir/messages.cpp.o.d"
+  "/root/repo/src/oran/ric.cpp" "src/oran/CMakeFiles/explora_oran.dir/ric.cpp.o" "gcc" "src/oran/CMakeFiles/explora_oran.dir/ric.cpp.o.d"
+  "/root/repo/src/oran/rmr.cpp" "src/oran/CMakeFiles/explora_oran.dir/rmr.cpp.o" "gcc" "src/oran/CMakeFiles/explora_oran.dir/rmr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/explora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/explora_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/explora_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

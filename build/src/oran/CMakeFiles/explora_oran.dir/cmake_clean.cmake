@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explora_oran.dir/a1.cpp.o"
+  "CMakeFiles/explora_oran.dir/a1.cpp.o.d"
+  "CMakeFiles/explora_oran.dir/codec.cpp.o"
+  "CMakeFiles/explora_oran.dir/codec.cpp.o.d"
+  "CMakeFiles/explora_oran.dir/data_repository.cpp.o"
+  "CMakeFiles/explora_oran.dir/data_repository.cpp.o.d"
+  "CMakeFiles/explora_oran.dir/drl_xapp.cpp.o"
+  "CMakeFiles/explora_oran.dir/drl_xapp.cpp.o.d"
+  "CMakeFiles/explora_oran.dir/e2_term.cpp.o"
+  "CMakeFiles/explora_oran.dir/e2_term.cpp.o.d"
+  "CMakeFiles/explora_oran.dir/messages.cpp.o"
+  "CMakeFiles/explora_oran.dir/messages.cpp.o.d"
+  "CMakeFiles/explora_oran.dir/ric.cpp.o"
+  "CMakeFiles/explora_oran.dir/ric.cpp.o.d"
+  "CMakeFiles/explora_oran.dir/rmr.cpp.o"
+  "CMakeFiles/explora_oran.dir/rmr.cpp.o.d"
+  "libexplora_oran.a"
+  "libexplora_oran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explora_oran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xai/boosted.cpp" "src/xai/CMakeFiles/explora_xai.dir/boosted.cpp.o" "gcc" "src/xai/CMakeFiles/explora_xai.dir/boosted.cpp.o.d"
+  "/root/repo/src/xai/lime.cpp" "src/xai/CMakeFiles/explora_xai.dir/lime.cpp.o" "gcc" "src/xai/CMakeFiles/explora_xai.dir/lime.cpp.o.d"
+  "/root/repo/src/xai/shap.cpp" "src/xai/CMakeFiles/explora_xai.dir/shap.cpp.o" "gcc" "src/xai/CMakeFiles/explora_xai.dir/shap.cpp.o.d"
+  "/root/repo/src/xai/tree.cpp" "src/xai/CMakeFiles/explora_xai.dir/tree.cpp.o" "gcc" "src/xai/CMakeFiles/explora_xai.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/explora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/explora_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/explora_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

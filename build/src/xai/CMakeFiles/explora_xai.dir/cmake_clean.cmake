@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explora_xai.dir/boosted.cpp.o"
+  "CMakeFiles/explora_xai.dir/boosted.cpp.o.d"
+  "CMakeFiles/explora_xai.dir/lime.cpp.o"
+  "CMakeFiles/explora_xai.dir/lime.cpp.o.d"
+  "CMakeFiles/explora_xai.dir/shap.cpp.o"
+  "CMakeFiles/explora_xai.dir/shap.cpp.o.d"
+  "CMakeFiles/explora_xai.dir/tree.cpp.o"
+  "CMakeFiles/explora_xai.dir/tree.cpp.o.d"
+  "libexplora_xai.a"
+  "libexplora_xai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explora_xai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

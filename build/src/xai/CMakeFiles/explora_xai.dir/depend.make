@@ -1,0 +1,2 @@
+# Empty dependencies file for explora_xai.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_a1.cpp" "tests/CMakeFiles/explora_tests.dir/test_a1.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_a1.cpp.o.d"
+  "/root/repo/tests/test_a2c.cpp" "tests/CMakeFiles/explora_tests.dir/test_a2c.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_a2c.cpp.o.d"
+  "/root/repo/tests/test_autoencoder.cpp" "tests/CMakeFiles/explora_tests.dir/test_autoencoder.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_autoencoder.cpp.o.d"
+  "/root/repo/tests/test_boosted.cpp" "tests/CMakeFiles/explora_tests.dir/test_boosted.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_boosted.cpp.o.d"
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/explora_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/explora_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_distill.cpp" "tests/CMakeFiles/explora_tests.dir/test_distill.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_distill.cpp.o.d"
+  "/root/repo/tests/test_dqn.cpp" "tests/CMakeFiles/explora_tests.dir/test_dqn.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_dqn.cpp.o.d"
+  "/root/repo/tests/test_drl_xapp.cpp" "tests/CMakeFiles/explora_tests.dir/test_drl_xapp.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_drl_xapp.cpp.o.d"
+  "/root/repo/tests/test_edbr.cpp" "tests/CMakeFiles/explora_tests.dir/test_edbr.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_edbr.cpp.o.d"
+  "/root/repo/tests/test_explora_xapp.cpp" "tests/CMakeFiles/explora_tests.dir/test_explora_xapp.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_explora_xapp.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/explora_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_format.cpp" "tests/CMakeFiles/explora_tests.dir/test_format.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_format.cpp.o.d"
+  "/root/repo/tests/test_gnb.cpp" "tests/CMakeFiles/explora_tests.dir/test_gnb.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_gnb.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/explora_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/explora_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lime.cpp" "tests/CMakeFiles/explora_tests.dir/test_lime.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_lime.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/explora_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_ppo.cpp" "tests/CMakeFiles/explora_tests.dir/test_ppo.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_ppo.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/explora_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rmr.cpp" "tests/CMakeFiles/explora_tests.dir/test_rmr.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_rmr.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/explora_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/explora_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/explora_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_shap.cpp" "tests/CMakeFiles/explora_tests.dir/test_shap.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_shap.cpp.o.d"
+  "/root/repo/tests/test_shield.cpp" "tests/CMakeFiles/explora_tests.dir/test_shield.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_shield.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/explora_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/explora_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/explora_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_transitions.cpp" "tests/CMakeFiles/explora_tests.dir/test_transitions.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_transitions.cpp.o.d"
+  "/root/repo/tests/test_tree.cpp" "tests/CMakeFiles/explora_tests.dir/test_tree.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_tree.cpp.o.d"
+  "/root/repo/tests/test_ue.cpp" "tests/CMakeFiles/explora_tests.dir/test_ue.cpp.o" "gcc" "tests/CMakeFiles/explora_tests.dir/test_ue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/explora_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/explora/CMakeFiles/explora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/oran/CMakeFiles/explora_oran.dir/DependInfo.cmake"
+  "/root/repo/build/src/xai/CMakeFiles/explora_xai.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/explora_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/explora_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/explora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

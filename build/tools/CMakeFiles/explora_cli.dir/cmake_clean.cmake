@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explora_cli.dir/explora_cli.cpp.o"
+  "CMakeFiles/explora_cli.dir/explora_cli.cpp.o.d"
+  "explora_cli"
+  "explora_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explora_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
