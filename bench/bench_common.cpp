@@ -1,12 +1,14 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 
 #include "common/format.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 
 namespace explora::bench {
@@ -36,13 +38,27 @@ harness::TrainingConfig bench_training() {
 }
 
 const harness::TrainedSystem& trained_system(core::AgentProfile profile) {
-  static const harness::TrainedSystem ht = harness::load_or_train(
-      core::AgentProfile::kHighThroughput,
-      paper_scenario(netsim::TrafficProfile::kTrf1, 6), bench_training());
-  static const harness::TrainedSystem ll = harness::load_or_train(
-      core::AgentProfile::kLowLatency,
-      paper_scenario(netsim::TrafficProfile::kTrf1, 6), bench_training());
-  return profile == core::AgentProfile::kHighThroughput ? ht : ll;
+  // Both profiles warm up concurrently on first use: each trains (or loads)
+  // against its own artifact file and scenario copy, so the two
+  // load_or_train calls share no mutable state.
+  static const std::array<harness::TrainedSystem, 2> systems = [] {
+    constexpr std::array<core::AgentProfile, 2> profiles = {
+        core::AgentProfile::kHighThroughput, core::AgentProfile::kLowLatency};
+    std::array<harness::TrainedSystem, 2> trained;
+    common::parallel_for(0, profiles.size(), 1,
+                         [&](std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             trained[i] = harness::load_or_train(
+                                 profiles[i],
+                                 paper_scenario(netsim::TrafficProfile::kTrf1,
+                                                6),
+                                 bench_training());
+                           }
+                         });
+    return trained;
+  }();
+  return profile == core::AgentProfile::kHighThroughput ? systems[0]
+                                                        : systems[1];
 }
 
 harness::ExperimentResult run_standard(core::AgentProfile profile,
@@ -60,6 +76,23 @@ harness::ExperimentResult run_standard(core::AgentProfile profile,
   return harness::run_experiment(trained_system(profile),
                                  paper_scenario(traffic, users, seed),
                                  options, bench_training());
+}
+
+std::vector<harness::ExperimentResult> run_standard_sweep(
+    core::AgentProfile profile, netsim::TrafficProfile traffic,
+    std::uint32_t users, const std::vector<std::uint64_t>& seeds) {
+  // Force the shared trained system into existence before fanning out, so
+  // the sweep tasks only ever read it.
+  (void)trained_system(profile);
+  std::vector<harness::ExperimentResult> results(seeds.size());
+  common::parallel_for(0, seeds.size(), 1,
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           results[i] = run_standard(profile, traffic, users,
+                                                     seeds[i]);
+                         }
+                       });
+  return results;
 }
 
 harness::ExperimentResult run_steered(

@@ -4,7 +4,15 @@
 // cost EXPLORA adds.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/format.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "ml/nn.hpp"
 #include "explora/distill.hpp"
 #include "explora/edbr.hpp"
 #include "explora/graph.hpp"
@@ -134,6 +142,70 @@ void BM_ShapExactPerSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ShapExactPerSample)->Arg(5)->Arg(9)->Arg(12);
 
+// Same workload fanned out across the EXPLORA_THREADS pool with the
+// batched model path (compare against BM_ShapExactPerSample for the
+// serial-vs-parallel trajectory; the JSON pre-pass below reports the
+// speedup directly).
+void BM_ShapExactParallel(benchmark::State& state) {
+  const auto features = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(5);
+  std::vector<xai::Vector> background;
+  for (int i = 0; i < 16; ++i) {
+    xai::Vector row(features);
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+    background.push_back(std::move(row));
+  }
+  ml::Mlp mlp({features, 32, 4}, ml::Activation::kTanh,
+              ml::Activation::kLinear, rng);
+  xai::ShapExplainer explainer(xai::batch_model(mlp), background);
+  const xai::Vector probe(features, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.explain_all_outputs(probe));
+  }
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(explainer.model_evaluations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShapExactParallel)->Arg(8)->Arg(10)->Arg(12)->UseRealTime();
+
+// ---- batched model inference ---------------------------------------------
+
+void BM_MlpForwardPerRow(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(6);
+  ml::Mlp mlp({16, 64, 64, 8}, ml::Activation::kTanh, ml::Activation::kLinear,
+              rng);
+  std::vector<ml::Vector> rows(batch, ml::Vector(16));
+  for (auto& row : rows) {
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+  }
+  ml::Vector out(8);
+  for (auto _ : state) {
+    for (const auto& row : rows) {
+      mlp.infer(row, out);
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MlpForwardPerRow)->Arg(64)->Arg(256);
+
+void BM_MlpForwardBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(6);
+  ml::Mlp mlp({16, 64, 64, 8}, ml::Activation::kTanh, ml::Activation::kLinear,
+              rng);
+  ml::Matrix inputs(batch, 16);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.forward_batch(inputs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MlpForwardBatch)->Arg(64)->Arg(256);
+
 // ---- substrate hot paths ---------------------------------------------------
 
 void BM_GnbReportWindow(benchmark::State& state) {
@@ -204,6 +276,131 @@ void BM_DecisionTreeFit(benchmark::State& state) {
 }
 BENCHMARK(BM_DecisionTreeFit)->Arg(512)->Arg(2048);
 
+// ---- serial-vs-parallel JSON report ---------------------------------------
+//
+// Self-timed comparison of the parallel execution layer against a 1-thread
+// pool (== EXPLORA_THREADS=1), printed as one JSON object so the perf
+// trajectory is trackable across commits (see EXPERIMENTS.md). Also written
+// to the file named by EXPLORA_BENCH_JSON when set.
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Best-of-3 wall time of `fn()`.
+template <typename Fn>
+double time_best(Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto start = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+std::string shap_speedup_case(std::size_t features, common::ThreadPool& serial,
+                              common::ThreadPool& parallel) {
+  common::Rng rng(5);
+  std::vector<xai::Vector> background;
+  for (int i = 0; i < 16; ++i) {
+    xai::Vector row(features);
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+    background.push_back(std::move(row));
+  }
+  ml::Mlp mlp({features, 32, 4}, ml::Activation::kTanh,
+              ml::Activation::kLinear, rng);
+  const xai::Vector probe(features, 0.5);
+
+  xai::ShapExplainer::Config config;
+  config.pool = &serial;
+  xai::ShapExplainer serial_explainer(xai::batch_model(mlp), background,
+                                      config);
+  config.pool = &parallel;
+  xai::ShapExplainer parallel_explainer(xai::batch_model(mlp), background,
+                                        config);
+
+  std::vector<xai::Vector> serial_phi;
+  std::vector<xai::Vector> parallel_phi;
+  const double serial_s =
+      time_best([&] { serial_phi = serial_explainer.explain_all_outputs(probe); });
+  const double parallel_s = time_best(
+      [&] { parallel_phi = parallel_explainer.explain_all_outputs(probe); });
+  const auto evals_per_sample =
+      parallel_explainer.model_evaluations() / 3;  // 3 timed reps
+
+  return common::format(
+      "    {{\"case\": \"shap_exact\", \"features\": {}, \"background\": {}, "
+      "\"serial_seconds\": {:.6f}, \"parallel_seconds\": {:.6f}, "
+      "\"speedup\": {:.2f}, \"model_evals\": {}, \"evals_per_second\": {:.0f}, "
+      "\"bit_identical\": {}}}",
+      features, background.size(), serial_s, parallel_s,
+      serial_s / std::max(parallel_s, 1e-12), evals_per_sample,
+      static_cast<double>(evals_per_sample) / std::max(parallel_s, 1e-12),
+      serial_phi == parallel_phi ? "true" : "false");
+}
+
+std::string forward_batch_case(std::size_t batch) {
+  common::Rng rng(6);
+  ml::Mlp mlp({16, 64, 64, 8}, ml::Activation::kTanh, ml::Activation::kLinear,
+              rng);
+  ml::Matrix inputs(batch, 16);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+
+  ml::Vector out(8);
+  const double per_row_s = time_best([&] {
+    for (std::size_t r = 0; r < batch; ++r) {
+      mlp.infer(inputs.data().subspan(r * 16, 16), out);
+      benchmark::DoNotOptimize(out);
+    }
+  });
+  ml::Matrix outputs;
+  const double batched_s =
+      time_best([&] { outputs = mlp.forward_batch(inputs); });
+  benchmark::DoNotOptimize(outputs);
+
+  return common::format(
+      "    {{\"case\": \"forward_batch\", \"batch\": {}, "
+      "\"per_row_seconds\": {:.6f}, \"batched_seconds\": {:.6f}, "
+      "\"speedup\": {:.2f}, \"rows_per_second\": {:.0f}}}",
+      batch, per_row_s, batched_s,
+      per_row_s / std::max(batched_s, 1e-12),
+      static_cast<double>(batch) / std::max(batched_s, 1e-12));
+}
+
+void report_parallel_speedup() {
+  const std::size_t threads = common::configured_threads();
+  common::ThreadPool serial(1);
+  common::ThreadPool parallel(threads);
+
+  std::string json = "{\n  \"bench\": \"parallel_speedup\",\n";
+  json += common::format("  \"threads\": {},\n  \"cases\": [\n", threads);
+  json += shap_speedup_case(8, serial, parallel) + ",\n";
+  json += shap_speedup_case(10, serial, parallel) + ",\n";
+  json += shap_speedup_case(12, serial, parallel) + ",\n";
+  json += forward_batch_case(64) + ",\n";
+  json += forward_batch_case(256) + "\n";
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (const char* path = std::getenv("EXPLORA_BENCH_JSON");
+      path != nullptr && *path != '\0') {
+    if (std::FILE* file = std::fopen(path, "w")) {
+      std::fputs(json.c_str(), file);
+      std::fclose(file);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  report_parallel_speedup();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,6 +24,21 @@ void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
   }
 }
 
+void Matrix::multiply_batch(const Matrix& x, Matrix& y) const {
+  EXPLORA_EXPECTS(x.cols() == cols_);
+  EXPLORA_EXPECTS(y.rows() == x.rows() && y.cols() == rows_);
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const double* in = x.data_.data() + b * cols_;
+    double* out = y.data_.data() + b * rows_;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double* row = data_.data() + r * cols_;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * in[c];
+      out[r] = acc;
+    }
+  }
+}
+
 void Matrix::multiply_transposed(std::span<const double> x,
                                  std::span<double> y) const {
   EXPLORA_EXPECTS(x.size() == rows_);

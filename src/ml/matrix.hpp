@@ -35,6 +35,10 @@ class Matrix {
 
   /// y = A x (x.size() == cols, y.size() == rows).
   void multiply(std::span<const double> x, std::span<double> y) const;
+  /// Batched variant: Y = X A^T with X (batch x cols) and Y (batch x rows),
+  /// one GEMM-style loop instead of `batch` multiply() calls. Each output
+  /// row is bit-identical to multiply() on the corresponding input row.
+  void multiply_batch(const Matrix& x, Matrix& y) const;
   /// y = A^T x (x.size() == rows, y.size() == cols).
   void multiply_transposed(std::span<const double> x,
                            std::span<double> y) const;

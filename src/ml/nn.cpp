@@ -73,6 +73,15 @@ void DenseLayer::forward(std::span<const double> in,
   apply_activation(act_, out);
 }
 
+void DenseLayer::forward_batch(const Matrix& in, Matrix& out) const {
+  weights_.multiply_batch(in, out);
+  for (std::size_t b = 0; b < out.rows(); ++b) {
+    auto row = out.data().subspan(b * out.cols(), out.cols());
+    for (std::size_t i = 0; i < row.size(); ++i) row[i] += bias_[i];
+    apply_activation(act_, row);
+  }
+}
+
 void DenseLayer::backward(std::span<const double> in,
                           std::span<const double> activated,
                           std::span<double> grad_out,
@@ -176,6 +185,18 @@ void Mlp::infer(std::span<const double> in, std::span<double> out) const {
     scratch_a.swap(scratch_b);
   }
   std::copy(scratch_a.begin(), scratch_a.end(), out.begin());
+}
+
+Matrix Mlp::forward_batch(const Matrix& in) const {
+  EXPLORA_EXPECTS(in.cols() == in_size());
+  Matrix current(in.rows(), layers_.front().out_size());
+  layers_.front().forward_batch(in, current);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    Matrix next(current.rows(), layers_[i].out_size());
+    layers_[i].forward_batch(current, next);
+    current = std::move(next);
+  }
+  return current;
 }
 
 Vector Mlp::backward(std::span<const double> grad_output) {

@@ -43,6 +43,10 @@ class DenseLayer {
   /// owns the activation tape so one layer can serve many passes.
   void forward(std::span<const double> in, std::span<double> out) const;
 
+  /// Batched forward: `in` is (batch x in_size), `out` (batch x out_size).
+  /// Row b of `out` is bit-identical to forward() on row b of `in`.
+  void forward_batch(const Matrix& in, Matrix& out) const;
+
   /// Backward pass. `activated` is this layer's forward output for `in`;
   /// `grad_out` is dL/d(activated) and is clobbered; `grad_in` receives
   /// dL/d(in). Parameter gradients are accumulated into the grad buffers.
@@ -84,6 +88,12 @@ class Mlp {
   [[nodiscard]] const Vector& forward(std::span<const double> in);
   /// Forward without touching the tape (thread-compatible inference).
   void infer(std::span<const double> in, std::span<double> out) const;
+
+  /// Batched inference: pushes all rows of `in` (batch x in_size) through
+  /// the network layer by layer — one multiply_batch per layer instead of
+  /// `batch` infer() calls. Thread-compatible (no tape); each returned row
+  /// is bit-identical to infer() on that input row.
+  [[nodiscard]] Matrix forward_batch(const Matrix& in) const;
 
   /// Backpropagates dL/d(output) through the recorded tape, accumulating
   /// parameter gradients; returns dL/d(input).

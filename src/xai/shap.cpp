@@ -3,21 +3,50 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <utility>
 
 #include "common/contracts.hpp"
+#include "ml/nn.hpp"
 
 namespace explora::xai {
 
 double factorial(std::size_t n) noexcept {
-  static const std::array<double, 21> table = [] {
-    std::array<double, 21> t{};
+  static const std::array<double, 32> table = [] {
+    std::array<double, 32> t{};
     t[0] = 1.0;
     for (std::size_t i = 1; i < t.size(); ++i) {
       t[i] = t[i - 1] * static_cast<double>(i);
     }
     return t;
   }();
-  return n < table.size() ? table[n] : table.back();
+  EXPLORA_EXPECTS(n < table.size());
+  return table[n];
+}
+
+double shapley_weight(std::size_t num_features,
+                      std::size_t coalition_size) noexcept {
+  return factorial(coalition_size) *
+         factorial(num_features - coalition_size - 1) /
+         factorial(num_features);
+}
+
+BatchModelFn batch_model(const ml::Mlp& mlp) {
+  return [&mlp](const std::vector<Vector>& probes) {
+    ml::Matrix inputs(probes.size(), probes.front().size());
+    for (std::size_t r = 0; r < probes.size(); ++r) {
+      std::copy(probes[r].begin(), probes[r].end(),
+                inputs.data().begin() +
+                    static_cast<std::ptrdiff_t>(r * inputs.cols()));
+    }
+    const ml::Matrix outputs = mlp.forward_batch(inputs);
+    std::vector<Vector> rows(outputs.rows());
+    for (std::size_t r = 0; r < outputs.rows(); ++r) {
+      const auto row = outputs.data().subspan(r * outputs.cols(),
+                                              outputs.cols());
+      rows[r].assign(row.begin(), row.end());
+    }
+    return rows;
+  };
 }
 
 ShapExplainer::ShapExplainer(ModelFn model, std::vector<Vector> background)
@@ -25,10 +54,24 @@ ShapExplainer::ShapExplainer(ModelFn model, std::vector<Vector> background)
 
 ShapExplainer::ShapExplainer(ModelFn model, std::vector<Vector> background,
                              Config config)
+    : ShapExplainer(
+          [model = std::move(model)](const std::vector<Vector>& probes) {
+            std::vector<Vector> outputs;
+            outputs.reserve(probes.size());
+            for (const Vector& probe : probes) outputs.push_back(model(probe));
+            return outputs;
+          },
+          std::move(background), config) {}
+
+ShapExplainer::ShapExplainer(BatchModelFn model,
+                             std::vector<Vector> background)
+    : ShapExplainer(std::move(model), std::move(background), Config{}) {}
+
+ShapExplainer::ShapExplainer(BatchModelFn model, std::vector<Vector> background,
+                             Config config)
     : model_(std::move(model)),
       background_(std::move(background)),
-      config_(config),
-      rng_(config.seed) {
+      config_(config) {
   EXPLORA_EXPECTS(model_ != nullptr);
   EXPLORA_EXPECTS(!background_.empty());
   if (background_.size() > config_.max_background) {
@@ -47,21 +90,26 @@ ShapExplainer::ShapExplainer(ModelFn model, std::vector<Vector> background,
 
 Vector ShapExplainer::coalition_value(const Vector& x,
                                       std::uint32_t coalition_mask) {
-  Vector accumulator;
-  Vector probe(x.size(), 0.0);
-  for (const Vector& row : background_) {
+  // One probe per background row; the whole coalition batch goes through
+  // the model in a single call so batched backends amortize per-call work.
+  std::vector<Vector> probes(background_.size());
+  for (std::size_t b = 0; b < background_.size(); ++b) {
+    const Vector& row = background_[b];
     EXPLORA_EXPECTS(row.size() == x.size());
+    Vector& probe = probes[b];
+    probe.resize(x.size());
     for (std::size_t f = 0; f < x.size(); ++f) {
       probe[f] = (coalition_mask >> f) & 1u ? x[f] : row[f];
     }
-    Vector out = model_(probe);
-    ++evaluations_;
-    if (accumulator.empty()) {
-      accumulator = std::move(out);
-    } else {
-      for (std::size_t i = 0; i < accumulator.size(); ++i) {
-        accumulator[i] += out[i];
-      }
+  }
+  const std::vector<Vector> outputs = model_(probes);
+  EXPLORA_ASSERT(outputs.size() == background_.size());
+  evaluations_.fetch_add(background_.size(), std::memory_order_relaxed);
+
+  Vector accumulator = outputs.front();
+  for (std::size_t b = 1; b < outputs.size(); ++b) {
+    for (std::size_t i = 0; i < accumulator.size(); ++i) {
+      accumulator[i] += outputs[b][i];
     }
   }
   for (double& v : accumulator) {
@@ -71,16 +119,13 @@ Vector ShapExplainer::coalition_value(const Vector& x,
 }
 
 Vector ShapExplainer::base_values() {
-  Vector accumulator;
-  for (const Vector& row : background_) {
-    Vector out = model_(row);
-    ++evaluations_;
-    if (accumulator.empty()) {
-      accumulator = std::move(out);
-    } else {
-      for (std::size_t i = 0; i < accumulator.size(); ++i) {
-        accumulator[i] += out[i];
-      }
+  const std::vector<Vector> outputs = model_(background_);
+  EXPLORA_ASSERT(outputs.size() == background_.size());
+  evaluations_.fetch_add(background_.size(), std::memory_order_relaxed);
+  Vector accumulator = outputs.front();
+  for (std::size_t b = 1; b < outputs.size(); ++b) {
+    for (std::size_t i = 0; i < accumulator.size(); ++i) {
+      accumulator[i] += outputs[b][i];
     }
   }
   for (double& v : accumulator) {
@@ -93,26 +138,35 @@ std::vector<Vector> ShapExplainer::explain_exact(const Vector& x) {
   const std::size_t num_features = x.size();
   EXPLORA_EXPECTS(num_features > 0 && num_features <= 20);
 
-  // Evaluate v(S) for every coalition once.
+  // Evaluate v(S) for every coalition once. Coalition values are mutually
+  // independent, so the 2^N evaluations fan out across the pool; each
+  // slot is written by exactly one chunk and the per-coalition arithmetic
+  // is untouched, keeping results identical to a serial run.
   const std::uint32_t num_coalitions = 1u << num_features;
   std::vector<Vector> values(num_coalitions);
-  for (std::uint32_t mask = 0; mask < num_coalitions; ++mask) {
-    values[mask] = coalition_value(x, mask);
-  }
+  pool().parallel_for(0, num_coalitions, /*grain=*/4,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t mask = begin; mask < end; ++mask) {
+                          values[mask] = coalition_value(
+                              x, static_cast<std::uint32_t>(mask));
+                        }
+                      });
   const std::size_t num_outputs = values[0].size();
 
   // phi_i = sum_S |S|! (N-|S|-1)! / N! * (v(S u {i}) - v(S)), i not in S.
+  // The weight depends only on |S|: precompute it per coalition size
+  // instead of recomputing factorials per (feature, mask) pair.
+  std::vector<double> weight_by_size(num_features);
+  for (std::size_t k = 0; k < num_features; ++k) {
+    weight_by_size[k] = shapley_weight(num_features, k);
+  }
   std::vector<Vector> phi(num_outputs, Vector(num_features, 0.0));
-  const double n_factorial = factorial(num_features);
   for (std::size_t f = 0; f < num_features; ++f) {
     const std::uint32_t f_bit = 1u << f;
     for (std::uint32_t mask = 0; mask < num_coalitions; ++mask) {
       if (mask & f_bit) continue;
-      const auto coalition_size =
-          static_cast<std::size_t>(std::popcount(mask));
-      const double weight = factorial(coalition_size) *
-                            factorial(num_features - coalition_size - 1) /
-                            n_factorial;
+      const double weight =
+          weight_by_size[static_cast<std::size_t>(std::popcount(mask))];
       const Vector& with = values[mask | f_bit];
       const Vector& without = values[mask];
       for (std::size_t o = 0; o < num_outputs; ++o) {
@@ -127,28 +181,44 @@ std::vector<Vector> ShapExplainer::explain_sampling(const Vector& x) {
   const std::size_t num_features = x.size();
   EXPLORA_EXPECTS(num_features > 0 && num_features < 32);
 
-  std::vector<std::size_t> order(num_features);
-  for (std::size_t i = 0; i < num_features; ++i) order[i] = i;
+  // Permutation chains are independent given per-permutation RNG streams
+  // derived from the seed, so they run concurrently; partial phi sums are
+  // merged in permutation order (grain 1 = one chunk per permutation),
+  // which reproduces the serial summation bit-for-bit.
+  using Phi = std::vector<Vector>;
+  Phi phi = pool().parallel_map_reduce(
+      std::size_t{0}, config_.permutations, /*grain=*/1, Phi{},
+      [&](std::size_t p, std::size_t) {
+        std::uint64_t stream = config_.seed + p + 1;
+        common::Rng rng(common::splitmix64(stream));
+        std::vector<std::size_t> order(num_features);
+        for (std::size_t i = 0; i < num_features; ++i) order[i] = i;
+        rng.shuffle(order);
 
-  std::vector<Vector> phi;
-  std::size_t num_outputs = 0;
-  for (std::size_t p = 0; p < config_.permutations; ++p) {
-    rng_.shuffle(order);
-    std::uint32_t mask = 0;
-    Vector previous = coalition_value(x, mask);
-    if (phi.empty()) {
-      num_outputs = previous.size();
-      phi.assign(num_outputs, Vector(num_features, 0.0));
-    }
-    for (std::size_t f : order) {
-      mask |= 1u << f;
-      Vector current = coalition_value(x, mask);
-      for (std::size_t o = 0; o < num_outputs; ++o) {
-        phi[o][f] += current[o] - previous[o];
-      }
-      previous = std::move(current);
-    }
-  }
+        std::uint32_t mask = 0;
+        Vector previous = coalition_value(x, mask);
+        Phi local(previous.size(), Vector(num_features, 0.0));
+        for (std::size_t f : order) {
+          mask |= 1u << f;
+          Vector current = coalition_value(x, mask);
+          for (std::size_t o = 0; o < local.size(); ++o) {
+            local[o][f] += current[o] - previous[o];
+          }
+          previous = std::move(current);
+        }
+        return local;
+      },
+      [](Phi& acc, Phi&& partial) {
+        if (acc.empty()) {
+          acc = std::move(partial);
+          return;
+        }
+        for (std::size_t o = 0; o < acc.size(); ++o) {
+          for (std::size_t f = 0; f < acc[o].size(); ++f) {
+            acc[o][f] += partial[o][f];
+          }
+        }
+      });
   for (auto& per_output : phi) {
     for (double& v : per_output) {
       v /= static_cast<double>(config_.permutations);

@@ -11,22 +11,50 @@
 //
 // Missing features are marginalized by substituting values from background
 // rows (the interventional conditional expectation used by KernelSHAP).
+//
+// Parallelism: coalition values (exact mode) and permutation chains
+// (sampling mode) are evaluated on a thread pool (Config::pool, default
+// the EXPLORA_THREADS-sized global pool). Each permutation draws from its
+// own RNG stream derived from Config::seed, and partial sums are merged in
+// a fixed chunk order, so results are bit-identical for any thread count.
+// The model callback must therefore be safe to invoke concurrently
+// (e.g. Mlp::infer / PpoAgent::head_distributions, which are const and
+// allocation-local).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "ml/matrix.hpp"
+
+namespace explora::ml {
+class Mlp;
+}  // namespace explora::ml
 
 namespace explora::xai {
 
 using ml::Vector;
 
 /// Black-box model: feature vector in, output vector out (e.g. the agent's
-/// per-head action scores).
+/// per-head action scores). Must be callable concurrently from several
+/// threads.
 using ModelFn = std::function<Vector(const Vector&)>;
+
+/// Batched black-box model: evaluates a whole batch of probes in one call
+/// (one output row per input row). Lets models amortize per-call overhead —
+/// e.g. Mlp::forward_batch pushes all rows through each layer as one
+/// GEMM-style loop. Must be callable concurrently from several threads.
+using BatchModelFn =
+    std::function<std::vector<Vector>(const std::vector<Vector>&)>;
+
+/// Wraps an Mlp into a BatchModelFn backed by Mlp::forward_batch, so a
+/// coalition's whole background batch goes through the network at once.
+/// The Mlp must outlive the returned callable.
+[[nodiscard]] BatchModelFn batch_model(const ml::Mlp& mlp);
 
 class ShapExplainer {
  public:
@@ -37,6 +65,9 @@ class ShapExplainer {
     std::size_t permutations = 200;     ///< sampling mode only
     std::size_t max_background = 32;    ///< background rows used per v(S)
     std::uint64_t seed = 17;
+    /// Pool for the coalition/permutation fan-out; nullptr = the global
+    /// EXPLORA_THREADS pool. A 1-thread pool reproduces serial execution.
+    common::ThreadPool* pool = nullptr;
   };
 
   /// @param model black-box to explain (never null).
@@ -44,6 +75,11 @@ class ShapExplainer {
   ///        features; at least one row.
   ShapExplainer(ModelFn model, std::vector<Vector> background);
   ShapExplainer(ModelFn model, std::vector<Vector> background, Config config);
+  /// Batched variant: `model` receives the whole probe batch of one
+  /// coalition (|background| rows) per call.
+  ShapExplainer(BatchModelFn model, std::vector<Vector> background);
+  ShapExplainer(BatchModelFn model, std::vector<Vector> background,
+                Config config);
 
   /// Shapley values of every feature for output `output_index` at `x`.
   /// Exact mode cost: O(2^N * |background|) model evaluations.
@@ -55,29 +91,40 @@ class ShapExplainer {
 
   /// Model evaluations performed so far (cost accounting for Fig. 4).
   [[nodiscard]] std::uint64_t model_evaluations() const noexcept {
-    return evaluations_;
+    return evaluations_.load(std::memory_order_relaxed);
   }
-  void reset_evaluation_counter() noexcept { evaluations_ = 0; }
+  void reset_evaluation_counter() noexcept {
+    evaluations_.store(0, std::memory_order_relaxed);
+  }
 
   /// Expected model output over the background (the SHAP base value).
   [[nodiscard]] Vector base_values();
 
  private:
   /// v(S): expected model output with features in S taken from x and the
-  /// rest marginalized over the background.
+  /// rest marginalized over the background. Thread-safe.
   [[nodiscard]] Vector coalition_value(const Vector& x,
                                        std::uint32_t coalition_mask);
   [[nodiscard]] std::vector<Vector> explain_exact(const Vector& x);
   [[nodiscard]] std::vector<Vector> explain_sampling(const Vector& x);
+  [[nodiscard]] common::ThreadPool& pool() const noexcept {
+    return config_.pool != nullptr ? *config_.pool : common::global_pool();
+  }
 
-  ModelFn model_;
+  BatchModelFn model_;
   std::vector<Vector> background_;
   Config config_;
-  common::Rng rng_;
-  std::uint64_t evaluations_ = 0;
+  std::atomic<std::uint64_t> evaluations_ = 0;
 };
 
-/// Factorials up to 20 as doubles (Shapley weight computation).
+/// Factorials 0..31 as doubles (Shapley weight computation; covers the full
+/// feature range both estimators accept).
 [[nodiscard]] double factorial(std::size_t n) noexcept;
+
+/// The exact-mode Shapley coalition weight |S|! (N-|S|-1)! / N! for a
+/// coalition of size `coalition_size` out of `num_features` features,
+/// precomputable per size (hoisted out of the per-(feature, mask) loop).
+[[nodiscard]] double shapley_weight(std::size_t num_features,
+                                    std::size_t coalition_size) noexcept;
 
 }  // namespace explora::xai

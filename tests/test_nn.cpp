@@ -193,6 +193,42 @@ TEST(Mlp, InferMatchesForward) {
   EXPECT_DOUBLE_EQ(tape_out[1], infer_out[1]);
 }
 
+TEST(Matrix, MultiplyBatchMatchesPerRowMultiply) {
+  common::Rng rng(17);
+  Matrix a(5, 7);
+  for (auto& v : a.data()) v = rng.normal(0.0, 1.0);
+  Matrix x(11, 7);
+  for (auto& v : x.data()) v = rng.normal(0.0, 1.0);
+
+  Matrix y(11, 5);
+  a.multiply_batch(x, y);
+  Vector row_out(5, 0.0);
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    a.multiply(x.data().subspan(b * 7, 7), row_out);
+    for (std::size_t r = 0; r < 5; ++r) {
+      EXPECT_EQ(y(b, r), row_out[r]);  // bit-identical
+    }
+  }
+}
+
+TEST(Mlp, ForwardBatchMatchesInferBitwise) {
+  common::Rng rng(19);
+  Mlp net({4, 8, 8, 3}, Activation::kRelu, Activation::kTanh, rng);
+  Matrix inputs(9, 4);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+
+  const Matrix outputs = net.forward_batch(inputs);
+  ASSERT_EQ(outputs.rows(), 9u);
+  ASSERT_EQ(outputs.cols(), 3u);
+  Vector row_out(3, 0.0);
+  for (std::size_t b = 0; b < inputs.rows(); ++b) {
+    net.infer(inputs.data().subspan(b * 4, 4), row_out);
+    for (std::size_t o = 0; o < 3; ++o) {
+      EXPECT_EQ(outputs(b, o), row_out[o]);  // bit-identical
+    }
+  }
+}
+
 TEST(Mlp, SerializeRoundTrip) {
   common::Rng rng(11);
   Mlp original({4, 8, 3}, Activation::kTanh, Activation::kLinear, rng);

@@ -1,0 +1,181 @@
+// Tests for the parallel execution layer (common/parallel): pool
+// lifecycle, chunking/grain edge cases, exception propagation, nested
+// calls, and the determinism contract (bit-identical reductions for any
+// thread count).
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace explora::common {
+namespace {
+
+TEST(Parallel, ParseThreadsFallsBackToHardware) {
+  const std::size_t hardware = parse_threads(nullptr);
+  EXPECT_GE(hardware, 1u);
+  EXPECT_EQ(parse_threads(""), hardware);
+  EXPECT_EQ(parse_threads("0"), hardware);
+  EXPECT_EQ(parse_threads("garbage"), hardware);
+  EXPECT_EQ(parse_threads("1"), 1u);
+  EXPECT_EQ(parse_threads("8"), 8u);
+}
+
+TEST(Parallel, PoolLifecycle) {
+  // Construction and destruction must be clean for any size, repeatedly.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (int round = 0; round < 3; ++round) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(pool.thread_count(), threads);
+      std::atomic<int> touched{0};
+      pool.parallel_for(0, 100, 7, [&](std::size_t begin, std::size_t end) {
+        touched.fetch_add(static_cast<int>(end - begin));
+      });
+      EXPECT_EQ(touched.load(), 100);
+    }
+  }
+}
+
+TEST(Parallel, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(257);
+  pool.parallel_for(0, visits.size(), 10,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        visits[i].fetch_add(1);
+                      }
+                    });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Parallel, GrainEdgeCases) {
+  ThreadPool pool(4);
+  // Empty range: body never runs.
+  bool ran = false;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ran = true; });
+  pool.parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+
+  // Grain 0 is treated as 1 (one index per chunk).
+  std::atomic<int> chunks{0};
+  pool.parallel_for(0, 5, 0, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(end, begin + 1);
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(chunks.load(), 5);
+
+  // Grain larger than the range: a single chunk covering everything.
+  chunks = 0;
+  pool.parallel_for(2, 9, 1000, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 2u);
+    EXPECT_EQ(end, 9u);
+    chunks.fetch_add(1);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+
+  // Range not divisible by grain: the tail chunk is short.
+  std::vector<std::atomic<int>> visits(10);
+  pool.parallel_for(0, 10, 4, [&](std::size_t begin, std::size_t end) {
+    EXPECT_TRUE(end - begin == 4 || end - begin == 2);
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Parallel, ExceptionPropagates) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(0, 64, 1,
+                          [&](std::size_t begin, std::size_t) {
+                            if (begin == 13) {
+                              throw std::runtime_error("chunk 13 failed");
+                            }
+                          }),
+        std::runtime_error);
+    // The pool stays usable after a failed loop.
+    std::atomic<int> touched{0};
+    pool.parallel_for(0, 32, 4, [&](std::size_t begin, std::size_t end) {
+      touched.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(touched.load(), 32);
+  }
+}
+
+TEST(Parallel, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  // A parallel_for inside a pool task must not deadlock; the inner loop
+  // runs inline on the worker.
+  pool.parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    pool.parallel_for(0, 8, 1, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(static_cast<int>(end - begin));
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+/// A reduction whose result is floating-point-order sensitive: summing
+/// k^-2 over a large range in double precision.
+double order_sensitive_sum(ThreadPool& pool, std::size_t grain) {
+  return pool.parallel_map_reduce(
+      1, 100001, grain, 0.0,
+      [](std::size_t begin, std::size_t end) {
+        double sum = 0.0;
+        for (std::size_t k = begin; k < end; ++k) {
+          const auto kd = static_cast<double>(k);
+          sum += 1.0 / (kd * kd);
+        }
+        return sum;
+      },
+      [](double& acc, double partial) { acc += partial; });
+}
+
+TEST(Parallel, MapReduceBitIdenticalAcrossThreadCounts) {
+  ThreadPool one(1);
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  for (const std::size_t grain : {1u, 97u, 1024u, 1000000u}) {
+    const double serial = order_sensitive_sum(one, grain);
+    EXPECT_EQ(serial, order_sensitive_sum(two, grain));
+    EXPECT_EQ(serial, order_sensitive_sum(eight, grain));
+  }
+}
+
+TEST(Parallel, MapReduceMergesInChunkOrder) {
+  ThreadPool pool(8);
+  const auto order = pool.parallel_map_reduce(
+      0, 40, 4, std::vector<std::size_t>{},
+      [](std::size_t begin, std::size_t) { return begin; },
+      [](std::vector<std::size_t>& acc, std::size_t chunk_begin) {
+        acc.push_back(chunk_begin);
+      });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i * 4);
+  }
+}
+
+TEST(Parallel, MapReduceEmptyRangeReturnsInit) {
+  ThreadPool pool(4);
+  const int result = pool.parallel_map_reduce(
+      3, 3, 1, 42, [](std::size_t, std::size_t) { return 7; },
+      [](int& acc, int partial) { acc += partial; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Parallel, GlobalPoolIsUsable) {
+  std::atomic<int> touched{0};
+  parallel_for(0, 50, 8, [&](std::size_t begin, std::size_t end) {
+    touched.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(touched.load(), 50);
+  EXPECT_GE(global_pool().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace explora::common

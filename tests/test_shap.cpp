@@ -6,7 +6,9 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "ml/nn.hpp"
 
 namespace explora::xai {
 namespace {
@@ -162,6 +164,128 @@ TEST(Factorial, KnownValues) {
   EXPECT_DOUBLE_EQ(factorial(1), 1.0);
   EXPECT_DOUBLE_EQ(factorial(5), 120.0);
   EXPECT_DOUBLE_EQ(factorial(10), 3628800.0);
+}
+
+TEST(Factorial, CoversTheFullSamplingFeatureRange) {
+  // explain_sampling accepts up to 31 features; the table must not
+  // silently saturate below that.
+  EXPECT_DOUBLE_EQ(factorial(21), 21.0 * factorial(20));
+  EXPECT_DOUBLE_EQ(factorial(31), 31.0 * factorial(30));
+  EXPECT_GT(factorial(31), factorial(30));
+}
+
+TEST(Shap, ShapleyWeightsSumToOneOverAllCoalitions) {
+  // sum over k of C(N-1, k) * k!(N-1-k)!/N! = 1 for any feature.
+  for (std::size_t n : {3u, 9u, 12u}) {
+    double total = 0.0;
+    double binom = 1.0;  // C(n-1, k), updated incrementally
+    for (std::size_t k = 0; k < n; ++k) {
+      total += binom * shapley_weight(n, k);
+      binom = binom * static_cast<double>(n - 1 - k) /
+              static_cast<double>(k + 1);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+// ---- parallel execution (the determinism contract) ------------------------
+
+TEST(Shap, ParallelExactMatchesSerialBitwise) {
+  auto model = [](const Vector& x) {
+    return Vector{x[0] * x[1] + std::sin(x[2]) - 0.3 * x[3] * x[4],
+                  x[2] * x[4]};
+  };
+  auto background = random_background(16, 5, 21);
+  const Vector x{0.3, -0.7, 0.9, 0.1, -0.2};
+
+  common::ThreadPool serial_pool(1);
+  common::ThreadPool parallel_pool(8);
+  ShapExplainer::Config config;
+  config.pool = &serial_pool;
+  ShapExplainer serial(model, background, config);
+  config.pool = &parallel_pool;
+  ShapExplainer parallel(model, background, config);
+
+  const auto serial_phi = serial.explain_all_outputs(x);
+  const auto parallel_phi = parallel.explain_all_outputs(x);
+  ASSERT_EQ(serial_phi.size(), parallel_phi.size());
+  for (std::size_t o = 0; o < serial_phi.size(); ++o) {
+    EXPECT_EQ(serial_phi[o], parallel_phi[o]);  // bit-identical
+  }
+  EXPECT_EQ(serial.model_evaluations(), parallel.model_evaluations());
+}
+
+TEST(Shap, ParallelSamplingMatchesSerialBitwise) {
+  auto model = [](const Vector& x) {
+    return Vector{x[0] * x[1] - 0.5 * x[2] + x[3]};
+  };
+  auto background = random_background(8, 4, 23);
+  const Vector x{0.2, -0.8, 0.5, 1.0};
+
+  common::ThreadPool serial_pool(1);
+  common::ThreadPool two_pool(2);
+  common::ThreadPool eight_pool(8);
+  ShapExplainer::Config config;
+  config.mode = ShapExplainer::Mode::kSampling;
+  config.permutations = 64;
+  config.seed = 99;
+
+  config.pool = &serial_pool;
+  ShapExplainer serial(model, background, config);
+  const Vector serial_phi = serial.explain(x, 0);
+  for (common::ThreadPool* pool : {&two_pool, &eight_pool}) {
+    config.pool = pool;
+    ShapExplainer threaded(model, background, config);
+    EXPECT_EQ(serial_phi, threaded.explain(x, 0));  // bit-identical
+  }
+}
+
+TEST(Shap, BatchedModelMatchesPerRowModel) {
+  // The batched entry point must agree with the per-row one when both
+  // compute the same function.
+  auto per_row = [](const Vector& x) {
+    return Vector{2.0 * x[0] - x[1], x[1] * x[2]};
+  };
+  BatchModelFn batched = [&](const std::vector<Vector>& probes) {
+    std::vector<Vector> out;
+    for (const auto& probe : probes) out.push_back(per_row(probe));
+    return out;
+  };
+  auto background = random_background(8, 3, 25);
+  const Vector x{0.4, -0.6, 1.1};
+
+  ShapExplainer a(ModelFn(per_row), background);
+  ShapExplainer b(std::move(batched), background);
+  const auto phi_a = a.explain_all_outputs(x);
+  const auto phi_b = b.explain_all_outputs(x);
+  ASSERT_EQ(phi_a.size(), phi_b.size());
+  for (std::size_t o = 0; o < phi_a.size(); ++o) {
+    EXPECT_EQ(phi_a[o], phi_b[o]);
+  }
+  EXPECT_EQ(a.model_evaluations(), b.model_evaluations());
+}
+
+TEST(Shap, MlpBatchModelMatchesInfer) {
+  // batch_model(mlp) explains exactly the function mlp.infer computes.
+  common::Rng rng(31);
+  ml::Mlp mlp({4, 16, 2}, ml::Activation::kTanh, ml::Activation::kLinear,
+              rng);
+  auto per_row = [&mlp](const Vector& x) {
+    Vector out(mlp.out_size());
+    mlp.infer(x, out);
+    return out;
+  };
+  auto background = random_background(8, 4, 27);
+  const Vector x{0.1, 0.2, -0.3, 0.4};
+
+  ShapExplainer reference(per_row, background);
+  ShapExplainer batched(batch_model(mlp), background);
+  const auto phi_a = reference.explain_all_outputs(x);
+  const auto phi_b = batched.explain_all_outputs(x);
+  ASSERT_EQ(phi_a.size(), phi_b.size());
+  for (std::size_t o = 0; o < phi_a.size(); ++o) {
+    EXPECT_EQ(phi_a[o], phi_b[o]);
+  }
 }
 
 }  // namespace
