@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/contracts.hpp"
 #include "common/format.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -342,6 +343,46 @@ std::string shap_speedup_case(std::size_t features, common::ThreadPool& serial,
       serial_phi == parallel_phi ? "true" : "false");
 }
 
+// Cost of the fast-tier contracts on the SHAP exact path: the same workload
+// timed with the runtime check level at fast (the production default) versus
+// off. The acceptance bar for instrumenting hot code is overhead < 5%.
+std::string contract_overhead_case(std::size_t features) {
+  common::Rng rng(5);
+  std::vector<xai::Vector> background;
+  for (int i = 0; i < 16; ++i) {
+    xai::Vector row(features);
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+    background.push_back(std::move(row));
+  }
+  ml::Mlp mlp({features, 32, 4}, ml::Activation::kTanh,
+              ml::Activation::kLinear, rng);
+  xai::ShapExplainer explainer(xai::batch_model(mlp), background);
+  const xai::Vector probe(features, 0.5);
+
+  double fast_s = 0.0;
+  {
+    contracts::ScopedCheckLevel fast(contracts::CheckLevel::kFast);
+    fast_s = time_best([&] {
+      benchmark::DoNotOptimize(explainer.explain_all_outputs(probe));
+    });
+  }
+  double off_s = 0.0;
+  {
+    contracts::ScopedCheckLevel off(contracts::CheckLevel::kOff);
+    off_s = time_best([&] {
+      benchmark::DoNotOptimize(explainer.explain_all_outputs(probe));
+    });
+  }
+
+  const double overhead_pct =
+      (fast_s / std::max(off_s, 1e-12) - 1.0) * 100.0;
+  return common::format(
+      "    {{\"case\": \"contract_overhead\", \"features\": {}, "
+      "\"checks_fast_seconds\": {:.6f}, \"checks_off_seconds\": {:.6f}, "
+      "\"overhead_percent\": {:.2f}}}",
+      features, fast_s, off_s, overhead_pct);
+}
+
 std::string forward_batch_case(std::size_t batch) {
   common::Rng rng(6);
   ml::Mlp mlp({16, 64, 64, 8}, ml::Activation::kTanh, ml::Activation::kLinear,
@@ -381,7 +422,8 @@ void report_parallel_speedup() {
   json += shap_speedup_case(10, serial, parallel) + ",\n";
   json += shap_speedup_case(12, serial, parallel) + ",\n";
   json += forward_batch_case(64) + ",\n";
-  json += forward_batch_case(256) + "\n";
+  json += forward_batch_case(256) + ",\n";
+  json += contract_overhead_case(10) + "\n";
   json += "  ]\n}\n";
 
   std::fputs(json.c_str(), stdout);

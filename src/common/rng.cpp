@@ -100,7 +100,7 @@ double Rng::exponential(double rate) noexcept {
 
 std::uint32_t Rng::poisson(double mean) noexcept {
   EXPLORA_EXPECTS(mean >= 0.0);
-  if (mean == 0.0) return 0;
+  if (mean == 0.0) return 0;  // det-ok: float-eq (degenerate-rate short-circuit)
   if (mean < 64.0) {
     // Knuth's multiplication method.
     const double threshold = std::exp(-mean);

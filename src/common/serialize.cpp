@@ -134,8 +134,10 @@ std::vector<double> BinaryReader::read_f64_vector() {
     throw SerializeError("truncated input");
   }
   std::vector<double> v(size);
-  std::memcpy(v.data(), data_.data() + pos_, size * sizeof(double));
-  pos_ += size * sizeof(double);
+  if (size != 0) {  // empty vector: data() may be null, and memcpy(null,..,0) is UB
+    std::memcpy(v.data(), data_.data() + pos_, size * sizeof(double));
+    pos_ += size * sizeof(double);
+  }
   return v;
 }
 

@@ -97,7 +97,8 @@ std::string render_cdf_comparison(std::string_view label,
     const double p90_a = quantile(a, 0.9);
     const double p90_b = quantile(b, 0.9);
     auto pct = [](double base, double treat) {
-      return base == 0.0 ? 0.0 : (treat - base) / std::abs(base) * 100.0;
+      return base == 0.0 ? 0.0  // det-ok: float-eq (division-by-zero guard)
+                         : (treat - base) / std::abs(base) * 100.0;
     };
     out += format(
         "  median: {} {:.3f} vs {} {:.3f} ({:+.1f}%)\n", name_a, med_a,

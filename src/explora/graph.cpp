@@ -153,7 +153,7 @@ std::vector<std::tuple<std::size_t, std::size_t, std::uint64_t>>
 AttributedGraph::edges() const {
   std::vector<std::tuple<std::size_t, std::size_t, std::uint64_t>> out;
   out.reserve(edges_.size());
-  for (const auto& [key, count] : edges_) {
+  for (const auto& [key, count] : edges_) {  // det-ok: unordered-iter (sorted below)
     out.emplace_back(static_cast<std::size_t>(key / kEdgeStride),
                      static_cast<std::size_t>(key % kEdgeStride), count);
   }

@@ -83,6 +83,9 @@ Vector DqnAgent::q_values(const Mlp& network,
                           std::span<const double> state) const {
   Vector q(network.out_size(), 0.0);
   network.infer(state, q);
+  EXPLORA_AUDIT_MSG(contracts::all_finite(q),
+                    "DQN produced non-finite Q-values over {} actions",
+                    q.size());
   return q;
 }
 
@@ -133,6 +136,9 @@ PolicyDecision DqnAgent::act(
                  q.begin() + static_cast<std::ptrdiff_t>(offsets[h + 1]));
     for (double& v : probs) v /= temperatures[h];
     softmax(probs);
+    EXPLORA_AUDIT_MSG(contracts::is_probability_simplex(probs),
+                      "DQN Boltzmann head {} is not a probability distribution",
+                      h);
     const double u = rng.uniform();
     double acc = 0.0;
     chosen[h] = probs.size() - 1;

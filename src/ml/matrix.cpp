@@ -14,8 +14,11 @@ void Matrix::fill(double value) noexcept {
 }
 
 void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
-  EXPLORA_EXPECTS(x.size() == cols_);
-  EXPLORA_EXPECTS(y.size() == rows_);
+  EXPLORA_EXPECTS_MSG(x.size() == cols_, "x has {} elements, matrix has {} cols",
+                      x.size(), cols_);
+  EXPLORA_EXPECTS_MSG(y.size() == rows_, "y has {} elements, matrix has {} rows",
+                      y.size(), rows_);
+  EXPLORA_AUDIT(contracts::all_finite(x));
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row = data_.data() + r * cols_;
     double acc = 0.0;
@@ -25,8 +28,12 @@ void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
 }
 
 void Matrix::multiply_batch(const Matrix& x, Matrix& y) const {
-  EXPLORA_EXPECTS(x.cols() == cols_);
-  EXPLORA_EXPECTS(y.rows() == x.rows() && y.cols() == rows_);
+  EXPLORA_EXPECTS_MSG(x.cols() == cols_, "x is {}x{}, matrix has {} cols",
+                      x.rows(), x.cols(), cols_);
+  EXPLORA_EXPECTS_MSG(y.rows() == x.rows() && y.cols() == rows_,
+                      "y is {}x{}, want {}x{}", y.rows(), y.cols(), x.rows(),
+                      rows_);
+  EXPLORA_AUDIT(contracts::all_finite(x.data()));
   for (std::size_t b = 0; b < x.rows(); ++b) {
     const double* in = x.data_.data() + b * cols_;
     double* out = y.data_.data() + b * rows_;
@@ -41,25 +48,31 @@ void Matrix::multiply_batch(const Matrix& x, Matrix& y) const {
 
 void Matrix::multiply_transposed(std::span<const double> x,
                                  std::span<double> y) const {
-  EXPLORA_EXPECTS(x.size() == rows_);
-  EXPLORA_EXPECTS(y.size() == cols_);
+  EXPLORA_EXPECTS_MSG(x.size() == rows_, "x has {} elements, matrix has {} rows",
+                      x.size(), rows_);
+  EXPLORA_EXPECTS_MSG(y.size() == cols_, "y has {} elements, matrix has {} cols",
+                      y.size(), cols_);
+  EXPLORA_AUDIT(contracts::all_finite(x));
   std::fill(y.begin(), y.end(), 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* row = data_.data() + r * cols_;
     const double xr = x[r];
-    if (xr == 0.0) continue;
+    if (xr == 0.0) continue;  // det-ok: float-eq (exact-zero skip is bit-safe)
     for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
   }
 }
 
 void Matrix::add_outer(double alpha, std::span<const double> u,
                        std::span<const double> v) {
-  EXPLORA_EXPECTS(u.size() == rows_);
-  EXPLORA_EXPECTS(v.size() == cols_);
+  EXPLORA_EXPECTS_MSG(u.size() == rows_, "u has {} elements, matrix has {} rows",
+                      u.size(), rows_);
+  EXPLORA_EXPECTS_MSG(v.size() == cols_, "v has {} elements, matrix has {} cols",
+                      v.size(), cols_);
+  EXPLORA_AUDIT(contracts::all_finite(u) && contracts::all_finite(v));
   for (std::size_t r = 0; r < rows_; ++r) {
     double* row = data_.data() + r * cols_;
     const double scale = alpha * u[r];
-    if (scale == 0.0) continue;
+    if (scale == 0.0) continue;  // det-ok: float-eq (exact-zero skip is bit-safe)
     for (std::size_t c = 0; c < cols_; ++c) row[c] += scale * v[c];
   }
 }

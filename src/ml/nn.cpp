@@ -41,6 +41,8 @@ void apply_activation_grad(Activation act, std::span<const double> activated,
 
 void softmax(std::span<double> logits) noexcept {
   if (logits.empty()) return;
+  EXPLORA_AUDIT_MSG(contracts::all_finite(logits),
+                    "softmax over {} non-finite logits", logits.size());
   const double peak = *std::max_element(logits.begin(), logits.end());
   double sum = 0.0;
   for (double& v : logits) {
@@ -48,6 +50,9 @@ void softmax(std::span<double> logits) noexcept {
     sum += v;
   }
   for (double& v : logits) v /= sum;
+  EXPLORA_AUDIT_MSG(contracts::is_probability_simplex(logits),
+                    "softmax output of size {} left the probability simplex",
+                    logits.size());
 }
 
 DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act,

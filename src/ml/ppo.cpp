@@ -128,10 +128,12 @@ std::vector<Vector> PpoAgent::split_softmax(
     EXPLORA_EXPECTS(temperatures[h] > 0.0);
     Vector head(logits.begin() + static_cast<std::ptrdiff_t>(offsets[h]),
                 logits.begin() + static_cast<std::ptrdiff_t>(offsets[h + 1]));
-    if (temperatures[h] != 1.0) {
+    if (temperatures[h] != 1.0) {  // det-ok: float-eq (skip exact identity temperature)
       for (double& v : head) v /= temperatures[h];
     }
     softmax(head);
+    EXPLORA_AUDIT_MSG(contracts::is_probability_simplex(head),
+                      "PPO head {} is not a probability distribution", h);
     heads.push_back(std::move(head));
   }
   return heads;

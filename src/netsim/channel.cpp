@@ -28,6 +28,10 @@ constexpr double kOverheadFactor = 0.75;  // PDCCH + DMRS overhead
 
 }  // namespace
 
+// Largest transport-block size one PRB can carry in one TTI: CQI 15
+// efficiency over 12 subcarriers x 14 symbols at 75% usable overhead.
+constexpr std::uint32_t kMaxBytesPerPrb = 87;
+
 std::uint32_t sinr_to_cqi(double sinr_db) noexcept {
   std::uint32_t cqi = 1;
   for (std::uint32_t i = 15; i >= 1; --i) {
@@ -36,17 +40,25 @@ std::uint32_t sinr_to_cqi(double sinr_db) noexcept {
       break;
     }
   }
+  EXPLORA_ENSURES(cqi >= 1 && cqi <= 15);
   return cqi;
 }
 
-double cqi_spectral_efficiency(std::uint32_t cqi) noexcept {
-  return cqi <= 15 ? kCqiEfficiency[cqi] : kCqiEfficiency[15];
+double cqi_spectral_efficiency(std::uint32_t cqi) {
+  EXPLORA_EXPECTS_MSG(cqi <= 15, "CQI {} outside the 4-bit table range [0, 15]",
+                      cqi);
+  // Clamp as defensive fallback for EXPLORA_CHECK_LEVEL=off builds.
+  return kCqiEfficiency[std::min(cqi, 15u)];
 }
 
-std::uint32_t cqi_bytes_per_prb(std::uint32_t cqi) noexcept {
+std::uint32_t cqi_bytes_per_prb(std::uint32_t cqi) {
   const double bits = cqi_spectral_efficiency(cqi) * kSubcarriersPerPrb *
                       kSymbolsPerTti * kOverheadFactor;
-  return static_cast<std::uint32_t>(bits / 8.0);
+  const auto bytes = static_cast<std::uint32_t>(bits / 8.0);
+  EXPLORA_ENSURES_MSG(bytes <= kMaxBytesPerPrb,
+                      "TBS {} bytes/PRB exceeds the CQI-15 ceiling of {}",
+                      bytes, kMaxBytesPerPrb);
+  return bytes;
 }
 
 UeChannel::UeChannel(double distance_m, const ChannelConfig& config,

@@ -84,12 +84,13 @@ class UeChannel {
 /// the standard link-level curves).
 [[nodiscard]] std::uint32_t sinr_to_cqi(double sinr_db) noexcept;
 
-/// Spectral efficiency [bits/symbol] for a CQI index 1..15 (36.213 Table
-/// 7.2.3-1). Index 0 (out of range) reports 0.
-[[nodiscard]] double cqi_spectral_efficiency(std::uint32_t cqi) noexcept;
+/// Spectral efficiency [bits/symbol] for a CQI index 0..15 (36.213 Table
+/// 7.2.3-1; index 0 reports 0). CQI > 15 is a contract violation.
+[[nodiscard]] double cqi_spectral_efficiency(std::uint32_t cqi);
 
 /// Transport-block bytes carried by a single PRB in one TTI at `cqi`:
 /// 12 subcarriers x 14 symbols, minus ~25% control/reference overhead.
-[[nodiscard]] std::uint32_t cqi_bytes_per_prb(std::uint32_t cqi) noexcept;
+/// CQI > 15 is a contract violation.
+[[nodiscard]] std::uint32_t cqi_bytes_per_prb(std::uint32_t cqi);
 
 }  // namespace explora::netsim

@@ -28,9 +28,14 @@ void Gnb::rebuild_slice_index() {
 }
 
 void Gnb::apply_control(const SlicingControl& control) {
+  // PRB disjointness: per-slice budgets partition the carrier, so their sum
+  // must fit in it (no PRB can be granted to two slices). A zero budget is
+  // legal — starving a slice is a modeled failure scenario, not a bug.
   const std::uint32_t total =
       std::accumulate(control.prbs.begin(), control.prbs.end(), 0u);
-  EXPLORA_EXPECTS(total <= kTotalPrbs);
+  EXPLORA_EXPECTS_MSG(total <= kTotalPrbs,
+                      "slice PRB budgets sum to {} but the carrier has {}",
+                      total, kTotalPrbs);
   for (std::size_t s = 0; s < kNumSlices; ++s) {
     if (schedulers_[s] == nullptr ||
         schedulers_[s]->policy() != control.scheduling[s]) {

@@ -63,6 +63,11 @@ void RoundRobinScheduler::schedule_tti(std::span<Ue*> ues,
     serve_one_prb(ue);
     --remaining;
   }
+  // A slice scheduler must never grant more PRBs than its slice owns,
+  // or it would eat into another slice's share.
+  EXPLORA_ENSURES_MSG(remaining <= prb_budget,
+                      "RR served {} PRBs over a budget of {}",
+                      prb_budget - remaining, prb_budget);
   next_ = (next_ + 1) % active.size();
 }
 
@@ -85,6 +90,9 @@ void WaterfillingScheduler::schedule_tti(std::span<Ue*> ues,
     }
     if (remaining == 0) break;
   }
+  EXPLORA_ENSURES_MSG(remaining <= prb_budget,
+                      "WF served {} PRBs over a budget of {}",
+                      prb_budget - remaining, prb_budget);
 }
 
 ProportionalFairScheduler::ProportionalFairScheduler(double alpha)
@@ -117,6 +125,9 @@ void ProportionalFairScheduler::schedule_tti(std::span<Ue*> ues,
       served_bits[best] += static_cast<double>(sent) * 8.0;
       --remaining;
     }
+    EXPLORA_ENSURES_MSG(remaining <= prb_budget,
+                        "PF served {} PRBs over a budget of {}",
+                        prb_budget - remaining, prb_budget);
   }
   // EWMA update for every tracked user, including the unserved ones (their
   // average decays, raising future priority) — standard PF bookkeeping.

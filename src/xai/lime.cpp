@@ -23,7 +23,7 @@ Vector solve_linear_system(std::vector<Vector> a, Vector b) {
     // Eliminate below.
     for (std::size_t row = col + 1; row < n; ++row) {
       const double factor = a[row][col] / a[col][col];
-      if (factor == 0.0) continue;
+      if (factor == 0.0) continue;  // det-ok: float-eq (exact-zero skip is bit-safe)
       for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
       b[row] -= factor * b[col];
     }

@@ -174,6 +174,21 @@ std::vector<Vector> ShapExplainer::explain_exact(const Vector& x) {
       }
     }
   }
+  // Shapley efficiency (additivity): sum_i phi_i must recover
+  // f(x) - E[f(background)], i.e. v(full) - v(empty). A drift here means
+  // the coalition fan-out or the weight table is corrupt.
+  if (contracts::check_level() >= contracts::CheckLevel::kAudit) {
+    const Vector& v_full = values[num_coalitions - 1];
+    const Vector& v_empty = values[0];
+    for (std::size_t o = 0; o < num_outputs; ++o) {
+      double phi_sum = 0.0;
+      for (std::size_t f = 0; f < num_features; ++f) phi_sum += phi[o][f];
+      EXPLORA_AUDIT_MSG(
+          contracts::approx_equal(phi_sum, v_full[o] - v_empty[o], 1e-6, 1e-6),
+          "output {}: sum(phi) + base = {} but f(x) = {}", o,
+          phi_sum + v_empty[o], v_full[o]);
+    }
+  }
   return phi;
 }
 

@@ -1,0 +1,48 @@
+// Proves that EXPLORA_CHECK_LEVEL=0 compiles contract checks out entirely:
+// conditions are never evaluated (side effects vanish) and false conditions
+// do not abort. This TU pins its own compiled ceiling to `off` before the
+// first include of contracts.hpp; `#pragma once` makes the pin stick for the
+// whole TU regardless of the project-wide -DEXPLORA_CHECK_LEVEL.
+#undef EXPLORA_CHECK_LEVEL
+#define EXPLORA_CHECK_LEVEL 0
+#include "common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace explora {
+namespace {
+
+TEST(ContractsOff, CompiledCeilingIsOff) {
+  EXPECT_EQ(contracts::kCompiledCheckLevel, contracts::CheckLevel::kOff);
+}
+
+TEST(ContractsOff, FalseConditionsDoNotAbort) {
+  EXPLORA_EXPECTS(false);
+  EXPLORA_ENSURES(false);
+  EXPLORA_ASSERT(false);
+  EXPLORA_AUDIT(false);
+  EXPLORA_EXPECTS_MSG(false, "never formatted: {}", 42);
+  EXPLORA_AUDIT_MSG(false, "never formatted: {}", 42);
+  SUCCEED();
+}
+
+TEST(ContractsOff, ConditionsAreNeverEvaluated) {
+  int counter = 0;
+  EXPLORA_EXPECTS((++counter, true));
+  EXPLORA_ENSURES((++counter, false));
+  EXPLORA_AUDIT((++counter, false));
+  EXPECT_EQ(counter, 0);
+}
+
+TEST(ContractsOff, RuntimeLevelCannotResurrectCompiledOutChecks) {
+  // Raising the runtime level is a no-op when the compiled ceiling is off:
+  // the macro bodies simply do not exist in this TU.
+  contracts::ScopedCheckLevel audit(contracts::CheckLevel::kAudit);
+  int counter = 0;
+  EXPLORA_AUDIT((++counter, false));
+  EXPLORA_EXPECTS((++counter, false));
+  EXPECT_EQ(counter, 0);
+}
+
+}  // namespace
+}  // namespace explora

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "ml/nn.hpp"
@@ -73,6 +75,32 @@ TEST(Shap, EfficiencyAxiom) {
   double total = base;
   for (double p : phi) total += p;
   EXPECT_NEAR(total, fx, 1e-9);
+}
+
+TEST(Shap, AuditLevelAdditivityCheckHolds) {
+  // At audit level the explainer itself verifies the efficiency axiom
+  // (sum(phi) + base == f(x) per output) inside explain_exact. A throwing
+  // handler turns any violation into a test failure, so a clean pass means
+  // the internal EXPLORA_AUDIT_MSG held for every output.
+  contracts::ScopedCheckLevel audit(contracts::CheckLevel::kAudit);
+  struct Thrower {
+    [[noreturn]] static void handle(const contracts::ContractViolation& v) {
+      throw std::runtime_error(v.message);
+    }
+  };
+  contracts::ScopedContractHandler guard(&Thrower::handle);
+
+  auto model = [](const Vector& x) {
+    return Vector{x[0] * x[1] - x[2], std::cos(x[0]) + 2.0 * x[2]};
+  };
+  auto background = random_background(8, 3, 11);
+  ShapExplainer explainer(model, background);
+  EXPECT_NO_THROW({
+    const Vector phi0 = explainer.explain({0.3, -1.2, 0.5}, 0);
+    const Vector phi1 = explainer.explain({0.3, -1.2, 0.5}, 1);
+    EXPECT_EQ(phi0.size(), 3u);
+    EXPECT_EQ(phi1.size(), 3u);
+  });
 }
 
 TEST(Shap, DummyFeatureGetsZero) {

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Determinism lint for the EXPLORA C++ sources.
+
+The repo's headline concurrency guarantee is bit-identical results at any
+thread count (see DESIGN.md). That property survives only if the code never
+consults ambient nondeterminism and never lets incidental ordering leak into
+artifacts. This lint bans the constructs that historically break it:
+
+  banned-random      std::rand/srand/std::random_device - all randomness must
+                     flow through common::Rng seeded streams
+  wall-clock         system_clock/high_resolution_clock/time(nullptr)/... -
+                     wall-clock values must never seed or order computation
+                     (steady_clock is allowed: it only measures durations)
+  unordered-iter     iteration over std::unordered_{map,set} - ordering is
+                     implementation-defined, so results must not depend on it
+  macro-side-effect  ++/--/assignment inside EXPLORA_* contract conditions -
+                     conditions are compiled out at EXPLORA_CHECK_LEVEL=off,
+                     so they must be evaluation-count independent
+  float-eq           ==/!= against a floating-point literal outside the
+                     approved helpers (contracts::approx_equal)
+
+A finding on a line carrying `// det-ok: <rule> (<reason>)` is suppressed;
+the marker documents why the construct is safe at that site (e.g. an
+unordered iteration whose results are sorted before use).
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ("src",)
+EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+
+RULES = {
+    "banned-random": re.compile(
+        r"\bstd::rand\b|\bsrand\s*\(|\bstd::random_device\b|\brandom_device\b"
+    ),
+    "wall-clock": re.compile(
+        r"\bsystem_clock\b|\bhigh_resolution_clock\b"
+        r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+        r"|\bgettimeofday\s*\(|\blocaltime\s*\(|\bgmtime\s*\("
+    ),
+    "float-eq": re.compile(
+        r"(?:==|!=)\s*[-+]?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fFlL]?"
+        r"|(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?[fFlL]?\s*(?:==|!=)"
+    ),
+}
+
+DET_OK = re.compile(r"//\s*det-ok:\s*([\w-]+)?")
+
+CONTRACT_MACRO = re.compile(r"\bEXPLORA_(?:EXPECTS|ENSURES|ASSERT|AUDIT)(_MSG)?\s*\(")
+
+SIDE_EFFECT = re.compile(
+    r"\+\+|--"                                   # increment / decrement
+    r"|(?<![=!<>+\-*/%&|^<>])=(?!=)"             # plain assignment
+    r"|[+\-*/%&|^]=(?!=)"                        # compound assignment
+    r"|<<=|>>="                                  # shift assignment
+)
+
+UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving line breaks
+    so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(" " * (min(j, n - 1) + 1 - i))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def declared_unordered_names(code: str) -> set[str]:
+    """Names of variables/members declared with an unordered container type,
+    matching template argument lists by bracket balance."""
+    names = set()
+    for match in UNORDERED_DECL.finditer(code):
+        depth, j = 1, match.end()
+        while j < len(code) and depth > 0:
+            if code[j] == "<":
+                depth += 1
+            elif code[j] == ">":
+                depth -= 1
+            j += 1
+        tail = code[j:]
+        m = re.match(r"\s*&?\s*(\w+)\s*(?:;|=|\{|,|\))", tail)
+        if m:
+            names.add(m.group(1))
+    return names
+
+
+def contract_condition_spans(code: str):
+    """Yields (offset, condition) for every EXPLORA_* macro invocation; for
+    _MSG variants the condition is the first top-level argument only."""
+    for match in CONTRACT_MACRO.finditer(code):
+        depth, j = 1, match.end()
+        start = match.end()
+        end = None
+        while j < len(code) and depth > 0:
+            c = code[j]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif c == "," and depth == 1 and end is None:
+                end = j
+            j += 1
+        if end is None:
+            end = j - 1
+        yield start, code[start:end]
+
+
+def line_of(code: str, offset: int) -> int:
+    return code.count("\n", 0, offset) + 1
+
+
+def allowed(raw_lines: list[str], lineno: int, rule: str) -> bool:
+    line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+    m = DET_OK.search(line)
+    return bool(m) and (m.group(1) is None or m.group(1) == rule)
+
+
+RANGE_FOR = re.compile(r"for\s*\(\s*[^;:()]*?:\s*([\w.\->]+)\s*\)")
+
+
+def lint_text(raw: str, code: str, unordered_names: set[str]):
+    """All findings for one stripped source `code` (raw kept for det-ok)."""
+    raw_lines = raw.splitlines()
+    findings = []
+
+    for rule, pattern in RULES.items():
+        for match in pattern.finditer(code):
+            lineno = line_of(code, match.start())
+            if not allowed(raw_lines, lineno, rule):
+                findings.append((lineno, rule, match.group(0).strip()))
+
+    for offset, condition in contract_condition_spans(code):
+        m = SIDE_EFFECT.search(condition)
+        if m:
+            lineno = line_of(code, offset + m.start())
+            if not allowed(raw_lines, lineno, "macro-side-effect"):
+                findings.append(
+                    (lineno, "macro-side-effect", condition.strip()[:60])
+                )
+
+    for match in RANGE_FOR.finditer(code):
+        target = match.group(1).split(".")[-1].split("->")[-1]
+        if target in unordered_names:
+            lineno = line_of(code, match.start())
+            if not allowed(raw_lines, lineno, "unordered-iter"):
+                findings.append((lineno, "unordered-iter", match.group(0)))
+
+    return findings
+
+
+def self_test() -> int:
+    bad = """
+    int x = std::rand();
+    auto s = std::chrono::system_clock::now();
+    auto t = time(nullptr);
+    if (a == 1.0) {}
+    if (0.5 != b) {}
+    EXPLORA_EXPECTS(++n < 5);
+    EXPLORA_ASSERT(x = 3);
+    EXPLORA_EXPECTS_MSG(total += 1, "grew to {}", total);
+    std::unordered_map<int, int> table;
+    for (const auto& kv : table) {}
+    """
+    good = """
+    auto t0 = std::chrono::steady_clock::now();  // duration only
+    if (a == 1.0) {}  // det-ok: float-eq (documented reason)
+    EXPLORA_EXPECTS(n + 1 < 5);
+    EXPLORA_EXPECTS(a <= b && c >= d && e != f);
+    EXPLORA_EXPECTS_MSG(x < y, "x = {}, y = {}", x, y);
+    std::unordered_map<int, int> table;
+    for (const auto& kv : table) {}  // det-ok: unordered-iter (sorted below)
+    const char* doc = "std::rand() is banned";  // string literal, not code
+    // comment mentioning srand( and time(nullptr) is fine
+    """
+    bad_code = strip_comments_and_strings(bad)
+    bad_findings = lint_text(bad, bad_code, declared_unordered_names(bad_code))
+    good_code = strip_comments_and_strings(good)
+    good_findings = lint_text(good, good_code,
+                              declared_unordered_names(good_code))
+    expect_rules = {
+        "banned-random", "wall-clock", "float-eq",
+        "macro-side-effect", "unordered-iter",
+    }
+    seen_rules = {rule for _, rule, _ in bad_findings}
+    ok = expect_rules <= seen_rules and len(bad_findings) >= 8
+    ok = ok and not good_findings
+    if not ok:
+        print("self-test FAILED")
+        print("  bad findings:", sorted(bad_findings))
+        print("  good findings:", sorted(good_findings))
+        return 1
+    print(f"self-test ok ({len(bad_findings)} expected findings, 0 false positives)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path, default=pathlib.Path("."),
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the lint's own positive/negative samples")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root.resolve()
+    files = sorted(
+        path
+        for scan_dir in SCAN_DIRS
+        for path in (root / scan_dir).rglob("*")
+        if path.suffix in EXTENSIONS
+    )
+    if not files:
+        print(f"lint_determinism: no sources under {root}", file=sys.stderr)
+        return 2
+
+    # Unordered container members are declared in headers and iterated in
+    # .cpp files, so collect declaration names across the whole scan set.
+    raws = {path: path.read_text(encoding="utf-8") for path in files}
+    stripped = {path: strip_comments_and_strings(raw)
+                for path, raw in raws.items()}
+    unordered_names: set[str] = set()
+    for code in stripped.values():
+        unordered_names |= declared_unordered_names(code)
+
+    total = 0
+    for path in files:
+        for lineno, rule, snippet in lint_text(raws[path], stripped[path],
+                                               unordered_names):
+            rel = path.relative_to(root)
+            print(f"{rel}:{lineno}: [{rule}] {snippet}")
+            total += 1
+
+    if total:
+        print(f"\nlint_determinism: {total} finding(s) across {len(files)} files")
+        print("suppress a safe site with: // det-ok: <rule> (<why it is safe>)")
+        return 1
+    print(f"lint_determinism: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
