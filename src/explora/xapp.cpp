@@ -13,12 +13,17 @@ ExploraXapp::ExploraXapp(Config config, oran::RmrRouter& router,
       reward_(config_.reward_weights),
       graph_(config_.graph) {
   EXPLORA_EXPECTS(config_.reports_per_decision > 0);
+  EXPLORA_EXPECTS(config_.expected_report_period >= 0);
   if (config_.steering.has_value()) {
     steering_.emplace(graph_, reward_, *config_.steering);
   }
   if (config_.shield.has_value()) {
     shield_ = config_.shield;
   }
+  if (config_.reliable.has_value()) {
+    reliable_.emplace(*config_.reliable, router, config_.name);
+  }
+  report_period_ = config_.expected_report_period;
 }
 
 const ActionShield& ExploraXapp::shield() const {
@@ -61,8 +66,19 @@ void ExploraXapp::on_a1_policy(const oran::A1Policy& policy) {
 void ExploraXapp::on_message(const oran::RicMessage& message) {
   switch (message.type) {
     case oran::MessageType::kKpmIndication: {
-      if (!current_action_.has_value()) return;  // nothing enforced yet
+      // Each indication is one reliable-delivery tick for the downstream
+      // hop: overdue unACKed forwards are resent at window cadence.
+      if (reliable_.has_value()) reliable_->on_tick();
       const netsim::KpiReport& report = message.kpm().report;
+      observe_indication_timing(report);
+      if (degraded_) {
+        // Quarantine: count clean in-sequence reports, feed nothing to the
+        // graph or the transition tracker until a full clean window passed.
+        ++clean_streak_;
+        if (clean_streak_ < recovery_target()) return;
+        exit_degraded(report.window_end);  // resume with this report
+      }
+      if (!current_action_.has_value()) return;  // nothing enforced yet
       // b(a): the consequence of the enforced action on the future state.
       graph_.record_consequence(report);
       pending_window_.push_back(report);
@@ -71,10 +87,31 @@ void ExploraXapp::on_message(const oran::RicMessage& message) {
       }
       return;
     }
+    case oran::MessageType::kRanControlAck: {
+      if (reliable_.has_value()) {
+        reliable_->on_ack(message.control_ack().seq);
+      }
+      return;
+    }
     case oran::MessageType::kRanControl: {
+      const oran::RanControl& ran_control = message.ran_control();
+      if (ran_control.seq > 0) {
+        // Per-hop reliability: confirm receipt to the upstream sender and
+        // process each (sender, seq) exactly once — a retransmission whose
+        // original arrived is re-ACKed (its ACK may have been lost) but
+        // never re-steered, re-archived or re-forwarded.
+        const bool first_time =
+            seen_upstream_seqs_.emplace(message.sender, ran_control.seq)
+                .second;
+        router_->send(
+            oran::make_ran_control_ack(config_.name, ran_control.seq));
+        if (!first_time) {
+          ++duplicate_controls_ignored_;
+          return;
+        }
+      }
       ++controls_seen_;
-      const netsim::SlicingControl proposed =
-          message.ran_control().control;
+      const netsim::SlicingControl proposed = ran_control.control;
 
       // Close the still-open window of the previous action (the agent may
       // decide on a different cadence than our window bookkeeping).
@@ -83,43 +120,133 @@ void ExploraXapp::on_message(const oran::RicMessage& message) {
       netsim::SlicingControl enforced = proposed;
       std::string rationale = "forwarded unchanged (steering disabled)";
       bool replaced = false;
-      // Opt 2 first: the shield is a hard constraint; whatever it enforces
-      // is what steering (Opt 1) then reasons about.
-      if (shield_.has_value()) {
-        ShieldOutcome shielded = shield_->apply(enforced);
-        if (shielded.blocked) {
-          enforced = shielded.enforced;
-          replaced = true;
-          rationale = std::move(shielded.rationale);
+      if (degraded_) {
+        // Telemetry is stale: steering would reason over gapped evidence,
+        // so fall back to hold-last-safe or shield-only forwarding.
+        if (config_.degraded_hold_last && last_safe_action_.has_value()) {
+          enforced = *last_safe_action_;
+          replaced = enforced != proposed;
+          rationale = common::format(
+              "degraded mode: holding last safe action {}",
+              enforced.to_string());
+        } else {
+          rationale = "degraded mode: shield-only forwarding";
         }
-      }
-      if (steering_.has_value()) {
-        SteeringOutcome outcome =
-            steering_->steer(enforced, current_action_);
-        if (outcome.replaced || !replaced) {
-          rationale = std::move(outcome.rationale);
+        if (shield_.has_value()) {
+          ShieldOutcome shielded = shield_->apply(enforced);
+          if (shielded.blocked) {
+            enforced = shielded.enforced;
+            replaced = true;
+            rationale = "degraded mode: " + shielded.rationale;
+          }
         }
-        enforced = outcome.enforced;
-        replaced = replaced || outcome.replaced;
+      } else {
+        // Opt 2 first: the shield is a hard constraint; whatever it
+        // enforces is what steering (Opt 1) then reasons about.
+        if (shield_.has_value()) {
+          ShieldOutcome shielded = shield_->apply(enforced);
+          if (shielded.blocked) {
+            enforced = shielded.enforced;
+            replaced = true;
+            rationale = std::move(shielded.rationale);
+          }
+        }
+        if (steering_.has_value()) {
+          SteeringOutcome outcome =
+              steering_->steer(enforced, current_action_);
+          if (outcome.replaced || !replaced) {
+            rationale = std::move(outcome.rationale);
+          }
+          enforced = outcome.enforced;
+          replaced = replaced || outcome.replaced;
+        }
       }
       if (replaced) ++controls_replaced_;
 
+      // Node visits and temporal edges track genuinely enforced actions
+      // even while degraded; only KPI attribution and transition windows
+      // freeze (they would ingest gapped data).
       graph_.begin_action(enforced);
       current_action_ = enforced;
+      if (!degraded_) last_safe_action_ = enforced;
 
       if (repository_ != nullptr) {
         repository_->store_explanation(oran::ExplanationRecord{
-            .decision_id = message.ran_control().decision_id,
+            .decision_id = ran_control.decision_id,
             .proposed = proposed,
             .enforced = enforced,
             .replaced = replaced,
             .explanation = rationale,
         });
       }
-      router_->send(oran::make_ran_control(config_.name, enforced,
-                                           message.ran_control().decision_id));
+      if (reliable_.has_value()) {
+        reliable_->send(enforced, ran_control.decision_id);
+      } else {
+        router_->send(oran::make_ran_control(config_.name, enforced,
+                                             ran_control.decision_id));
+      }
       return;
     }
+  }
+}
+
+void ExploraXapp::observe_indication_timing(const netsim::KpiReport& report) {
+  const netsim::Tick window_end = report.window_end;
+  std::uint64_t missed = 0;
+  if (last_window_end_.has_value()) {
+    const netsim::Tick gap = window_end - *last_window_end_;
+    if (report_period_ <= 0) {
+      // First spacing observed fixes the expected cadence.
+      report_period_ = gap > 0 ? gap : 0;
+    } else if (gap > report_period_) {
+      missed = static_cast<std::uint64_t>((gap - 1) / report_period_);
+    }
+  }
+  last_window_end_ = window_end;
+  if (missed > 0) enter_degraded(window_end, missed);
+}
+
+void ExploraXapp::enter_degraded(netsim::Tick detected_at,
+                                 std::uint64_t missed) {
+  indications_missed_ += missed;
+  clean_streak_ = 0;  // a gap while degraded restarts the quarantine
+  reports_discarded_ += pending_window_.size();
+  pending_window_.clear();  // never build transitions from a gapped window
+  if (degraded_) return;
+  degraded_ = true;
+  ++degradation_events_;
+  common::logf(common::LogLevel::kWarn, "explora-xapp",
+               "KPM stream gap at tick {} (~{} indication(s) missed): "
+               "entering degraded mode",
+               detected_at, missed);
+  if (repository_ != nullptr) {
+    repository_->store_degradation(oran::DegradationRecord{
+        .phase = oran::DegradationRecord::Phase::kEnter,
+        .detected_at = detected_at,
+        .missed_windows = missed,
+        .detail = common::format(
+            "KPM indication gap; freezing graph/transition updates, "
+            "{} forwarding",
+            config_.degraded_hold_last ? "hold-last-safe"
+                                       : "shield-only"),
+    });
+  }
+}
+
+void ExploraXapp::exit_degraded(netsim::Tick detected_at) {
+  degraded_ = false;
+  clean_streak_ = 0;
+  common::logf(common::LogLevel::kInfo, "explora-xapp",
+               "KPM stream recovered at tick {}: leaving degraded mode",
+               detected_at);
+  if (repository_ != nullptr) {
+    repository_->store_degradation(oran::DegradationRecord{
+        .phase = oran::DegradationRecord::Phase::kRecover,
+        .detected_at = detected_at,
+        .missed_windows = 0,
+        .detail = common::format("{} consecutive in-sequence indications",
+                                 recovery_target()),
+    });
   }
 }
 

@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "explora/distill.hpp"
@@ -20,6 +22,7 @@
 #include "explora/transitions.hpp"
 #include "oran/a1.hpp"
 #include "oran/data_repository.hpp"
+#include "oran/reliable.hpp"
 #include "oran/rmr.hpp"
 
 namespace explora::core {
@@ -39,6 +42,21 @@ class ExploraXapp final : public oran::RmrEndpoint,
     /// Optional action shield (the paper's Opt 2): applied *before*
     /// steering, unconditionally blocking rule-violating proposals.
     std::optional<ActionShield> shield;
+
+    // --- resilience (fault-injected deployments) -------------------------
+    /// Reliable forwarding of enforced controls to the E2 termination
+    /// (seq + ACK + retry); unset keeps fire-and-forget forwarding.
+    std::optional<oran::ReliableControlSender::Config> reliable;
+    /// Expected KPM indication spacing in TTIs (the gNB report period).
+    /// 0 = infer from the first two indications.
+    netsim::Tick expected_report_period = 0;
+    /// Consecutive in-sequence indications required to exit degraded
+    /// mode; 0 = reports_per_decision (one full clean window).
+    std::size_t recovery_reports = 0;
+    /// Degraded-mode forwarding policy: false = shield-only (forward the
+    /// agent's proposal through the shield, skip steering), true = hold
+    /// the last action enforced while the telemetry stream was healthy.
+    bool degraded_hold_last = false;
   };
 
   /// @param router used to forward (possibly substituted) controls.
@@ -90,8 +108,44 @@ class ExploraXapp final : public oran::RmrEndpoint,
     return reward_;
   }
 
+  // --- resilience access ----------------------------------------------------
+  /// True while the staleness watchdog distrusts the KPM stream.
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  /// Times the watchdog entered degraded mode.
+  [[nodiscard]] std::uint64_t degradation_events() const noexcept {
+    return degradation_events_;
+  }
+  /// KPI reports discarded from partial (gapped) decision windows.
+  [[nodiscard]] std::uint64_t reports_discarded() const noexcept {
+    return reports_discarded_;
+  }
+  /// Estimated KPM indications lost across all detected gaps.
+  [[nodiscard]] std::uint64_t indications_missed() const noexcept {
+    return indications_missed_;
+  }
+  /// Retransmitted upstream controls suppressed by the (sender, seq) guard.
+  [[nodiscard]] std::uint64_t duplicate_controls_ignored() const noexcept {
+    return duplicate_controls_ignored_;
+  }
+  /// Reliable-hop telemetry (nullptr when config.reliable is unset).
+  [[nodiscard]] const oran::ReliableControlSender* reliable() const noexcept {
+    return reliable_.has_value() ? &*reliable_ : nullptr;
+  }
+  /// Advances reliable-delivery time without an indication — used by the
+  /// harness to drain in-flight controls after the last report window.
+  void pump_reliable() {
+    if (reliable_.has_value()) reliable_->on_tick();
+  }
+
  private:
   void finalize_decision_window();
+  void observe_indication_timing(const netsim::KpiReport& report);
+  void enter_degraded(netsim::Tick detected_at, std::uint64_t missed);
+  void exit_degraded(netsim::Tick detected_at);
+  [[nodiscard]] std::size_t recovery_target() const noexcept {
+    return config_.recovery_reports > 0 ? config_.recovery_reports
+                                        : config_.reports_per_decision;
+  }
 
   Config config_;
   oran::RmrRouter* router_;
@@ -101,12 +155,27 @@ class ExploraXapp final : public oran::RmrEndpoint,
   TransitionTracker tracker_;
   std::optional<ActionSteering> steering_;
   std::optional<ActionShield> shield_;
+  std::optional<oran::ReliableControlSender> reliable_;
 
   std::optional<netsim::SlicingControl> current_action_;
   std::vector<netsim::KpiReport> pending_window_;
   std::uint64_t controls_seen_ = 0;
   std::uint64_t controls_replaced_ = 0;
   std::uint64_t a1_policies_applied_ = 0;
+
+  // Staleness watchdog state.
+  std::optional<netsim::Tick> last_window_end_;
+  netsim::Tick report_period_ = 0;
+  bool degraded_ = false;
+  std::size_t clean_streak_ = 0;
+  std::uint64_t degradation_events_ = 0;
+  std::uint64_t reports_discarded_ = 0;
+  std::uint64_t indications_missed_ = 0;
+  /// Last action enforced while the stream was healthy (hold-last policy).
+  std::optional<netsim::SlicingControl> last_safe_action_;
+  /// (sender, seq) of upstream controls already processed (apply-once).
+  std::set<std::pair<std::string, std::uint64_t>> seen_upstream_seqs_;
+  std::uint64_t duplicate_controls_ignored_ = 0;
 };
 
 }  // namespace explora::core

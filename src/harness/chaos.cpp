@@ -1,0 +1,194 @@
+#include "harness/chaos.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+#include "common/log.hpp"
+
+namespace explora::harness {
+
+namespace {
+
+/// Fixed-precision float for the JSON document. snprintf with "%.6f" is
+/// locale-independent for the C locale the binaries run under and yields
+/// the same bytes for the same double on every run.
+std::string json_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+ExperimentOptions base_options(const ChaosConfig& config) {
+  ExperimentOptions options;
+  options.decisions = config.decisions;
+  options.deploy_explora = true;
+  options.stochastic_agent = true;
+  options.reliable = config.reliable;
+  // The gNB report period is known here, so the watchdog does not need to
+  // infer it from (possibly already gapped) indication spacing.
+  options.expected_report_period = config.scenario.gnb.report_period_ttis;
+  return options;
+}
+
+}  // namespace
+
+std::vector<ChaosFaultPoint> default_fault_points() {
+  return {
+      {.label = "drop2", .control_drop = 0.02, .ack_drop = 0.02},
+      {.label = "drop5", .control_drop = 0.05, .ack_drop = 0.05},
+      {.label = "drop10", .control_drop = 0.10, .ack_drop = 0.10},
+      {.label = "delay20", .control_delay = 0.20, .delay_rounds = 2},
+      {.label = "dup10", .control_duplicate = 0.10},
+      {.label = "mixed",
+       .control_drop = 0.05,
+       .control_delay = 0.10,
+       .delay_rounds = 1,
+       .control_duplicate = 0.05,
+       .ack_drop = 0.05},
+      {.label = "kpm-gap",
+       .control_drop = 0.02,
+       .indication_drop = 0.15},
+  };
+}
+
+bool ChaosReport::all_exactly_once() const {
+  for (const ChaosRow& row : rows) {
+    if (!row.exactly_once) return false;
+  }
+  return true;
+}
+
+bool ChaosReport::all_bounded() const {
+  for (const ChaosRow& row : rows) {
+    if (!row.bounded) return false;
+  }
+  return true;
+}
+
+std::string ChaosReport::to_json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"scenario_seed\": " + std::to_string(scenario_seed) + ",\n";
+  out += "  \"fault_seed\": " + std::to_string(fault_seed) + ",\n";
+  out += "  \"decisions\": " + std::to_string(decisions) + ",\n";
+  out += "  \"baseline_reward\": " + json_double(baseline_reward) + ",\n";
+  out += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ChaosRow& row = rows[i];
+    const FaultTelemetry& t = row.telemetry;
+    out += "    {\"label\": \"" + json_escape(row.point.label) + "\"";
+    out += ", \"control_drop\": " + json_double(row.point.control_drop);
+    out += ", \"control_delay\": " + json_double(row.point.control_delay);
+    out += ", \"control_duplicate\": " +
+           json_double(row.point.control_duplicate);
+    out += ", \"ack_drop\": " + json_double(row.point.ack_drop);
+    out += ", \"indication_drop\": " + json_double(row.point.indication_drop);
+    out += ", \"mean_reward\": " + json_double(row.mean_reward);
+    out += ", \"degradation\": " + json_double(row.degradation);
+    out += ", \"controls_decided\": " + std::to_string(t.controls_decided);
+    out += ", \"controls_sent\": " + std::to_string(t.controls_sent);
+    out += ", \"controls_acked\": " + std::to_string(t.controls_acked);
+    out += ", \"controls_in_flight\": " + std::to_string(t.controls_in_flight);
+    out += ", \"controls_applied\": " + std::to_string(t.controls_applied);
+    out += ", \"controls_dropped\": " + std::to_string(t.controls_dropped);
+    out += ", \"controls_delayed\": " + std::to_string(t.controls_delayed);
+    out +=
+        ", \"controls_duplicated\": " + std::to_string(t.controls_duplicated);
+    out += ", \"acks_dropped\": " + std::to_string(t.acks_dropped);
+    out +=
+        ", \"indications_dropped\": " + std::to_string(t.indications_dropped);
+    out += ", \"retransmissions\": " + std::to_string(t.retransmissions);
+    out += ", \"retries_expired\": " + std::to_string(t.retries_expired);
+    out += ", \"duplicates_ignored\": " + std::to_string(t.duplicates_ignored);
+    out += ", \"controls_rejected\": " + std::to_string(t.controls_rejected);
+    out += ", \"degradation_events\": " + std::to_string(t.degradation_events);
+    out += ", \"indications_missed\": " + std::to_string(t.indications_missed);
+    out += ", \"reports_discarded\": " + std::to_string(t.reports_discarded);
+    out += ", \"exactly_once\": " + std::string(row.exactly_once ? "true"
+                                                                 : "false");
+    out += ", \"bounded\": " + std::string(row.bounded ? "true" : "false");
+    out += "}";
+    if (i + 1 < rows.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+ChaosReport run_chaos_sweep(const TrainedSystem& system,
+                            const ChaosConfig& config) {
+  EXPLORA_EXPECTS(config.decisions > 0);
+  EXPLORA_EXPECTS(config.max_reward_degradation > 0.0);
+
+  ChaosReport report;
+  report.scenario_seed = config.scenario.seed;
+  report.fault_seed = config.fault_seed;
+  report.decisions = config.decisions;
+
+  const ExperimentResult baseline = run_experiment(
+      system, config.scenario, base_options(config), config.training);
+  report.baseline_reward = baseline.mean_reward();
+  common::logf(common::LogLevel::kInfo, "chaos",
+               "baseline mean reward {} over {} decisions",
+               report.baseline_reward, config.decisions);
+
+  report.rows.reserve(config.points.size());
+  for (const ChaosFaultPoint& point : config.points) {
+    ExperimentOptions options = base_options(config);
+    FaultInjectionOptions faults;
+    faults.seed = config.fault_seed;
+    faults.control = {.drop = point.control_drop,
+                      .delay = point.control_delay,
+                      .delay_rounds = point.delay_rounds,
+                      .duplicate = point.control_duplicate};
+    faults.ack = {.drop = point.ack_drop};
+    faults.indication = {.drop = point.indication_drop};
+    options.faults = faults;
+
+    const ExperimentResult result =
+        run_experiment(system, config.scenario, options, config.training);
+    EXPLORA_EXPECTS(result.faults.has_value());
+
+    ChaosRow row;
+    row.point = point;
+    row.mean_reward = result.mean_reward();
+    row.telemetry = *result.faults;
+    const double scale = std::abs(report.baseline_reward);
+    row.degradation =
+        scale > 0.0 ? (report.baseline_reward - row.mean_reward) / scale
+                    : 0.0;
+    // Exactly-once: every decision reached the gNB (none expired out of
+    // retries, none stranded in flight) and the (sender, seq) guards
+    // absorbed every duplicate delivery.
+    row.exactly_once =
+        row.telemetry.retries_expired == 0 &&
+        row.telemetry.controls_in_flight == 0 &&
+        row.telemetry.controls_applied == row.telemetry.controls_decided &&
+        row.telemetry.controls_rejected == 0;
+    row.bounded = row.degradation <= config.max_reward_degradation;
+    common::logf(common::LogLevel::kInfo, "chaos",
+                 "point {}: reward {} (degradation {}), applied {}/{}, "
+                 "retx {}, exactly_once={}, bounded={}",
+                 point.label, row.mean_reward, row.degradation,
+                 row.telemetry.controls_applied,
+                 row.telemetry.controls_decided,
+                 row.telemetry.retransmissions, row.exactly_once,
+                 row.bounded);
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace explora::harness

@@ -1,0 +1,86 @@
+// Chaos harness: sweeps RMR fault intensities over full closed-loop runs
+// and checks the robustness contract — every DRL control is eventually
+// applied exactly once at the gNB, and the mean per-slice reward degrades
+// by at most a configured bound versus the fault-free baseline at the same
+// seed. Results serialize to a deterministic JSON document (fixed key
+// order, fixed float precision) so two runs with the same seed and fault
+// configuration must produce bit-identical output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/training.hpp"
+#include "netsim/scenario.hpp"
+#include "oran/reliable.hpp"
+
+namespace explora::harness {
+
+/// One point of the fault sweep: the impairment intensities injected on
+/// each message plane for a full experiment run.
+struct ChaosFaultPoint {
+  std::string label;
+  double control_drop = 0.0;       ///< RIC_CONTROL drop probability
+  double control_delay = 0.0;      ///< RIC_CONTROL delay probability
+  std::uint32_t delay_rounds = 1;  ///< dispatch rounds a delayed control waits
+  double control_duplicate = 0.0;  ///< RIC_CONTROL duplication probability
+  double ack_drop = 0.0;           ///< RIC_CONTROL_ACK drop probability
+  double indication_drop = 0.0;    ///< KPM drop on the EXPLORA subscription
+};
+
+struct ChaosConfig {
+  netsim::ScenarioConfig scenario;
+  TrainingConfig training;
+  std::size_t decisions = 24;
+  /// Seed of the impairment decision stream (one per sweep point; the same
+  /// seed is reused across points so each point is independently
+  /// reproducible in isolation).
+  std::uint64_t fault_seed = 4242;
+  /// ACK/retry policy for both control hops. The default retries every
+  /// indication tick without backoff: in the chaos loop the tick budget
+  /// after the final decision is one report window, so aggressive retries
+  /// keep the tail short enough for every control to land before the run
+  /// ends.
+  oran::ReliableControlSender::Config reliable{
+      .ack_timeout_ticks = 1, .max_retries = 12, .backoff_factor = 1};
+  std::vector<ChaosFaultPoint> points;
+  /// Maximum tolerated mean-reward degradation vs the baseline (0.20 =
+  /// 20%).
+  double max_reward_degradation = 0.20;
+};
+
+/// The default sweep: drop rates up to 10% on the control plane, one
+/// delay-heavy point, one duplication point, and one KPM-gap point that
+/// forces the EXPLORA watchdog through degraded mode and back.
+[[nodiscard]] std::vector<ChaosFaultPoint> default_fault_points();
+
+struct ChaosRow {
+  ChaosFaultPoint point;
+  double mean_reward = 0.0;
+  /// (baseline - mean) / |baseline|; negative when faults improved reward.
+  double degradation = 0.0;
+  FaultTelemetry telemetry;
+  bool exactly_once = false;
+  bool bounded = false;
+};
+
+struct ChaosReport {
+  std::uint64_t scenario_seed = 0;
+  std::uint64_t fault_seed = 0;
+  std::size_t decisions = 0;
+  double baseline_reward = 0.0;
+  std::vector<ChaosRow> rows;
+  [[nodiscard]] bool all_exactly_once() const;
+  [[nodiscard]] bool all_bounded() const;
+  /// Deterministic JSON: fixed key order, "%.6f" floats, no locale.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Runs the fault-free baseline then every sweep point, all at the same
+/// scenario/xApp seeds, and evaluates the robustness contract per point.
+[[nodiscard]] ChaosReport run_chaos_sweep(const TrainedSystem& system,
+                                          const ChaosConfig& config);
+
+}  // namespace explora::harness

@@ -42,12 +42,25 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
 
   oran::NearRtRic ric(netsim::make_gnb(scenario));
 
+  if (options.faults.has_value()) {
+    const FaultInjectionOptions& faults = *options.faults;
+    oran::LinkImpairments& impairments =
+        ric.router().configure_impairments(faults.seed);
+    impairments.set_policy(oran::MessageType::kRanControl, "*",
+                           faults.control);
+    impairments.set_policy(oran::MessageType::kRanControlAck, "*",
+                           faults.ack);
+    impairments.set_policy(oran::MessageType::kKpmIndication,
+                           faults.indication_target, faults.indication);
+  }
+
   oran::DrlXapp::Config drl_config;
   drl_config.reports_per_decision = reports_per_decision;
   drl_config.stochastic = options.stochastic_agent;
   drl_config.prb_temperature = options.prb_temperature;
   drl_config.sched_temperature = options.sched_temperature;
   drl_config.seed = options.xapp_seed;
+  drl_config.reliable = options.reliable;
   oran::DrlXapp drl(drl_config, normalizer, autoencoder, agent,
                     ric.router());
   ric.attach_xapp(drl);
@@ -60,6 +73,9 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
     xapp_config.reward_weights = core::weights_for(profile);
     xapp_config.steering = options.steering;
     xapp_config.shield = options.shield;
+    xapp_config.reliable = options.reliable;
+    xapp_config.expected_report_period = options.expected_report_period;
+    xapp_config.degraded_hold_last = options.degraded_hold_last;
     explora.emplace(xapp_config, ric.router(), &ric.repository());
     ric.attach_xapp(*explora);
     ric.subscribe_indications(std::string(explora->endpoint_name()));
@@ -122,6 +138,26 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
     result.decisions.back().reward = window_reward();
   }
 
+  // Drain the control-plane tail: a control decided on the last report
+  // window can still be held by a link delay or awaiting a retry when the
+  // loop stops. Release held messages and pump retry ticks (bounded, so a
+  // hard-expired control cannot loop forever) until nothing is in flight.
+  if (options.reliable.has_value()) {
+    auto tail = [&]() {
+      std::size_t pending = ric.router().pending_delayed();
+      if (drl.reliable() != nullptr) pending += drl.reliable()->in_flight();
+      if (explora.has_value() && explora->reliable() != nullptr) {
+        pending += explora->reliable()->in_flight();
+      }
+      return pending;
+    };
+    for (int i = 0; i < 64 && tail() > 0; ++i) {
+      ric.router().flush_delayed();
+      drl.pump_reliable();
+      if (explora.has_value()) explora->pump_reliable();
+    }
+  }
+
   if (explora.has_value()) {
     result.graph = explora->graph();
     result.transitions = explora->tracker().events();
@@ -137,6 +173,45 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
       }
       result.steering = std::move(stats);
     }
+  }
+
+  if (options.faults.has_value() || options.reliable.has_value()) {
+    FaultTelemetry telemetry;
+    if (const oran::LinkImpairments* impairments =
+            ric.router().impairments()) {
+      telemetry.controls_dropped =
+          impairments->dropped_by_type(oran::MessageType::kRanControl);
+      telemetry.controls_delayed =
+          impairments->delayed_by_type(oran::MessageType::kRanControl);
+      telemetry.controls_duplicated =
+          impairments->duplicated_by_type(oran::MessageType::kRanControl);
+      telemetry.acks_dropped =
+          impairments->dropped_by_type(oran::MessageType::kRanControlAck);
+      telemetry.indications_dropped =
+          impairments->dropped_by_type(oran::MessageType::kKpmIndication);
+    }
+    auto add_sender = [&telemetry](const oran::ReliableControlSender* s) {
+      if (s == nullptr) return;
+      telemetry.controls_sent += s->sent();
+      telemetry.controls_acked += s->acked();
+      telemetry.retransmissions += s->retransmissions();
+      telemetry.retries_expired += s->expired();
+      telemetry.controls_in_flight += s->in_flight();
+    };
+    telemetry.controls_decided = drl.decisions_made();
+    add_sender(drl.reliable());
+    if (explora.has_value()) add_sender(explora->reliable());
+    telemetry.controls_applied = ric.e2_termination().controls_applied();
+    telemetry.duplicates_ignored =
+        ric.e2_termination().duplicate_controls_ignored();
+    telemetry.controls_rejected = ric.e2_termination().controls_rejected();
+    if (explora.has_value()) {
+      telemetry.duplicates_ignored += explora->duplicate_controls_ignored();
+      telemetry.degradation_events = explora->degradation_events();
+      telemetry.indications_missed = explora->indications_missed();
+      telemetry.reports_discarded = explora->reports_discarded();
+    }
+    result.faults = telemetry;
   }
   return result;
 }

@@ -19,8 +19,26 @@
 #include "ml/agent.hpp"
 #include "ml/features.hpp"
 #include "netsim/scenario.hpp"
+#include "oran/impairments.hpp"
+#include "oran/reliable.hpp"
 
 namespace explora::harness {
+
+/// Link-fault injection for chaos runs. Policies apply per message plane;
+/// indication faults target only the EXPLORA xApp's subscription so the
+/// data repository (the measurement plane) keeps an unbroken KPI record.
+struct FaultInjectionOptions {
+  /// Seed for the impairment decision stream (forked internally, so the
+  /// same seed + policies reproduce the same fault pattern bit-for-bit).
+  std::uint64_t seed = 4242;
+  /// Applied to every RIC_CONTROL delivery (both hops).
+  oran::LinkImpairments::Policy control{};
+  /// Applied to every RIC_CONTROL_ACK delivery (both hops).
+  oran::LinkImpairments::Policy ack{};
+  /// Applied to KPM indications delivered to `indication_target` only.
+  oran::LinkImpairments::Policy indication{};
+  std::string indication_target = "explora_xapp";
+};
 
 struct ExperimentOptions {
   /// Number of DRL decision periods to run (each = M report windows;
@@ -47,6 +65,16 @@ struct ExperimentOptions {
   /// "Users: 6, drop to 5" steering setup).
   std::optional<std::size_t> drop_ue_at_decision;
   netsim::Slice drop_slice = netsim::Slice::kMmtc;
+
+  // --- robustness (fault-injected runs) ----------------------------------
+  /// RMR link impairments; unset runs the fault-free pipeline.
+  std::optional<FaultInjectionOptions> faults;
+  /// Sequence-numbered ACK/retry control delivery on every control hop;
+  /// unset keeps legacy fire-and-forget sends.
+  std::optional<oran::ReliableControlSender::Config> reliable;
+  /// EXPLORA staleness-watchdog tuning (see ExploraXapp::Config).
+  netsim::Tick expected_report_period = 0;
+  bool degraded_hold_last = false;
 };
 
 /// One DRL decision period.
@@ -67,6 +95,32 @@ struct SteeringStats {
   std::vector<std::uint64_t> per_action_replaced_out;
 };
 
+/// End-of-run fault and resilience counters, harvested from the router,
+/// both reliable senders, the E2 termination and the EXPLORA watchdog.
+struct FaultTelemetry {
+  // Router-level impairments (per plane).
+  std::uint64_t controls_dropped = 0;
+  std::uint64_t controls_delayed = 0;
+  std::uint64_t controls_duplicated = 0;
+  std::uint64_t acks_dropped = 0;
+  std::uint64_t indications_dropped = 0;
+  // Reliable-delivery counters (summed over both control hops).
+  std::uint64_t controls_decided = 0;  ///< DRL decisions emitted
+  std::uint64_t controls_sent = 0;
+  std::uint64_t controls_acked = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t retries_expired = 0;
+  std::uint64_t controls_in_flight = 0;  ///< unACKed at end of run
+  // Receiver-side exactly-once guards.
+  std::uint64_t controls_applied = 0;
+  std::uint64_t duplicates_ignored = 0;
+  std::uint64_t controls_rejected = 0;
+  // EXPLORA degraded-mode watchdog.
+  std::uint64_t degradation_events = 0;
+  std::uint64_t indications_missed = 0;
+  std::uint64_t reports_discarded = 0;
+};
+
 struct ExperimentResult {
   std::vector<DecisionRecord> decisions;
   /// Per report window (decisions x M entries), slice-aggregate KPIs.
@@ -78,6 +132,8 @@ struct ExperimentResult {
   std::vector<core::TransitionEvent> transitions;
   std::optional<SteeringStats> steering;
   std::uint64_t controls_replaced = 0;
+  /// Present whenever options.faults or options.reliable is set.
+  std::optional<FaultTelemetry> faults;
 
   /// Mean reward across decisions.
   [[nodiscard]] double mean_reward() const;

@@ -36,6 +36,14 @@ void Gnb::apply_control(const SlicingControl& control) {
   EXPLORA_EXPECTS_MSG(total <= kTotalPrbs,
                       "slice PRB budgets sum to {} but the carrier has {}",
                       total, kTotalPrbs);
+  // Malformed-control gate (fast tier, stays on in production): an empty
+  // PRB mask or an out-of-range scheduler id must be rejected upstream
+  // (E2Termination::on_message); reaching here with one is a bug. Checked
+  // after the oversubscription contract so that violation keeps its more
+  // specific message.
+  EXPLORA_EXPECTS_MSG(is_valid_control(control),
+                      "malformed control {} reached the gNB",
+                      control.to_string());
   for (std::size_t s = 0; s < kNumSlices; ++s) {
     if (schedulers_[s] == nullptr ||
         schedulers_[s]->policy() != control.scheduling[s]) {

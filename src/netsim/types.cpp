@@ -48,6 +48,18 @@ bool operator<(const SlicingControl& a, const SlicingControl& b) {
   return a.scheduling < b.scheduling;
 }
 
+bool is_valid_control(const SlicingControl& control) noexcept {
+  const std::uint32_t total =
+      std::accumulate(control.prbs.begin(), control.prbs.end(), 0u);
+  if (total == 0 || total > kTotalPrbs) return false;
+  for (const SchedulerPolicy policy : control.scheduling) {
+    if (static_cast<std::size_t>(policy) >= kNumSchedulerPolicies) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::size_t SlicingControlHash::operator()(
     const SlicingControl& a) const noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;

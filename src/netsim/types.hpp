@@ -65,6 +65,13 @@ struct SlicingControl {
 /// Strict weak ordering so SlicingControl can key ordered containers.
 [[nodiscard]] bool operator<(const SlicingControl& a, const SlicingControl& b);
 
+/// Well-formedness of a control as received over E2: the PRB mask is
+/// non-empty (at least one PRB granted somewhere), the per-slice budgets
+/// fit in the carrier, and every scheduler id names a known policy. The
+/// E2 termination rejects controls failing this instead of applying them;
+/// Gnb::apply_control enforces it as a fast-tier contract.
+[[nodiscard]] bool is_valid_control(const SlicingControl& control) noexcept;
+
 /// FNV-1a hash over the action fields for unordered containers.
 struct SlicingControlHash {
   [[nodiscard]] std::size_t operator()(const SlicingControl& a) const noexcept;

@@ -7,7 +7,9 @@ namespace explora::oran {
 namespace {
 
 constexpr std::uint64_t kWireMagic = 0x453241502d4d5347ULL;  // "E2AP-MSG"
-constexpr std::uint32_t kWireVersion = 1;
+// v2: RanControl grew a per-hop delivery `seq`, and RIC_CONTROL_ACK joined
+// the grammar (reliable control delivery under link impairments).
+constexpr std::uint32_t kWireVersion = 2;
 
 void write_report(common::BinaryWriter& writer,
                   const netsim::KpiReport& report) {
@@ -65,6 +67,10 @@ std::vector<std::uint8_t> encode_message(const RicMessage& message) {
     case MessageType::kRanControl:
       write_control(writer, message.ran_control().control);
       writer.write_u64(message.ran_control().decision_id);
+      writer.write_u64(message.ran_control().seq);
+      break;
+    case MessageType::kRanControlAck:
+      writer.write_u64(message.control_ack().seq);
       break;
   }
   return writer.buffer();
@@ -73,7 +79,7 @@ std::vector<std::uint8_t> encode_message(const RicMessage& message) {
 RicMessage decode_message(const std::vector<std::uint8_t>& wire) {
   common::BinaryReader reader(wire, kWireMagic, kWireVersion);
   const auto raw_type = reader.read_u32();
-  if (raw_type > static_cast<std::uint32_t>(MessageType::kRanControl)) {
+  if (raw_type >= static_cast<std::uint32_t>(kNumMessageTypes)) {
     throw common::SerializeError("unknown RIC message type on the wire");
   }
   RicMessage message;
@@ -87,9 +93,13 @@ RicMessage decode_message(const std::vector<std::uint8_t>& wire) {
       RanControl control;
       control.control = read_control(reader);
       control.decision_id = reader.read_u64();
+      control.seq = reader.read_u64();
       message.payload = control;
       break;
     }
+    case MessageType::kRanControlAck:
+      message.payload = RanControlAck{reader.read_u64()};
+      break;
   }
   if (!reader.at_end()) {
     throw common::SerializeError("trailing bytes after RIC message");

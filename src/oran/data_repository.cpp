@@ -31,4 +31,16 @@ void DataRepository::store_explanation(ExplanationRecord record) {
   explanations_.push_back(std::move(record));
 }
 
+void DataRepository::store_degradation(DegradationRecord record) {
+  degradations_.push_back(std::move(record));
+}
+
+std::string to_string(DegradationRecord::Phase phase) {
+  switch (phase) {
+    case DegradationRecord::Phase::kEnter: return "enter";
+    case DegradationRecord::Phase::kRecover: return "recover";
+  }
+  return "?";
+}
+
 }  // namespace explora::oran

@@ -23,6 +23,19 @@ struct ExplanationRecord {
   std::string explanation;           ///< human-readable rationale
 };
 
+/// One archived degraded-mode event from the EXPLORA xApp's staleness
+/// watchdog: entry when the KPM indication stream gaps, recovery when a
+/// full clean window has been observed again.
+struct DegradationRecord {
+  enum class Phase : std::uint8_t { kEnter = 0, kRecover = 1 };
+  Phase phase = Phase::kEnter;
+  netsim::Tick detected_at = 0;        ///< window_end of the triggering report
+  std::uint64_t missed_windows = 0;    ///< estimated indications lost (enter)
+  std::string detail;                  ///< human-readable context
+};
+
+[[nodiscard]] std::string to_string(DegradationRecord::Phase phase);
+
 class DataRepository final : public RmrEndpoint {
  public:
   /// @param history_capacity maximum retained KPI reports (ring buffer).
@@ -53,10 +66,19 @@ class DataRepository final : public RmrEndpoint {
     return explanations_;
   }
 
+  /// Degradation-event archive (quality assurance: when and why the
+  /// EXPLORA xApp stopped trusting the telemetry stream).
+  void store_degradation(DegradationRecord record);
+  [[nodiscard]] const std::vector<DegradationRecord>& degradations()
+      const noexcept {
+    return degradations_;
+  }
+
  private:
   std::size_t capacity_;
   std::deque<netsim::KpiReport> reports_;
   std::vector<ExplanationRecord> explanations_;
+  std::vector<DegradationRecord> degradations_;
 };
 
 }  // namespace explora::oran

@@ -14,10 +14,20 @@ DrlXapp::DrlXapp(Config config, const ml::KpiNormalizer& normalizer,
       router_(&router),
       rng_(config_.seed) {
   EXPLORA_EXPECTS(config_.reports_per_decision > 0);
+  if (config_.reliable.has_value()) {
+    reliable_.emplace(*config_.reliable, router, config_.name);
+  }
 }
 
 void DrlXapp::on_message(const RicMessage& message) {
+  if (message.type == MessageType::kRanControlAck) {
+    if (reliable_.has_value()) reliable_->on_ack(message.control_ack().seq);
+    return;
+  }
   if (message.type != MessageType::kKpmIndication) return;
+  // Each report window is one reliable-delivery tick: overdue unACKed
+  // controls are resent here, at window cadence, not from a wall clock.
+  if (reliable_.has_value()) reliable_->on_tick();
   window_.push(message.kpm().report);
   ++indications_seen_;
   if (window_.ready() &&
@@ -38,9 +48,12 @@ void DrlXapp::decide() {
     last_decision_ = agent_->act_greedy(last_latent_);
   }
   ++decision_id_;
-  router_->send(make_ran_control(config_.name,
-                                 ml::to_control(last_decision_->action),
-                                 decision_id_));
+  const netsim::SlicingControl control = ml::to_control(last_decision_->action);
+  if (reliable_.has_value()) {
+    reliable_->send(control, decision_id_);
+  } else {
+    router_->send(make_ran_control(config_.name, control, decision_id_));
+  }
 }
 
 }  // namespace explora::oran

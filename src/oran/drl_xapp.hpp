@@ -12,6 +12,7 @@
 #include "ml/agent.hpp"
 #include "ml/autoencoder.hpp"
 #include "ml/features.hpp"
+#include "oran/reliable.hpp"
 #include "oran/rmr.hpp"
 
 namespace explora::oran {
@@ -31,6 +32,10 @@ class DrlXapp final : public RmrEndpoint {
     double prb_temperature = 1.0;
     double sched_temperature = 1.0;
     std::uint64_t seed = 1234;
+    /// When set, controls are sequence-numbered and resent until the next
+    /// hop ACKs (timeout/backoff clocked by incoming KPM indications).
+    /// Unset keeps the legacy fire-and-forget seq-0 sends.
+    std::optional<ReliableControlSender::Config> reliable;
   };
 
   /// Model components are borrowed (non-owning): the caller — typically
@@ -69,6 +74,15 @@ class DrlXapp final : public RmrEndpoint {
   [[nodiscard]] const ml::KpiNormalizer& normalizer() const noexcept {
     return *normalizer_;
   }
+  /// Reliable-delivery telemetry (nullptr when config.reliable is unset).
+  [[nodiscard]] const ReliableControlSender* reliable() const noexcept {
+    return reliable_.has_value() ? &*reliable_ : nullptr;
+  }
+  /// Advances reliable-delivery time without an indication — used by the
+  /// harness to drain in-flight controls after the last report window.
+  void pump_reliable() {
+    if (reliable_.has_value()) reliable_->on_tick();
+  }
 
  private:
   void decide();
@@ -80,6 +94,7 @@ class DrlXapp final : public RmrEndpoint {
   RmrRouter* router_;
   common::Rng rng_;
   ml::InputWindow window_;
+  std::optional<ReliableControlSender> reliable_;
   std::uint64_t indications_seen_ = 0;
   std::uint64_t decision_id_ = 0;
   ml::Vector last_latent_;

@@ -1,6 +1,7 @@
 #include "oran/e2_term.hpp"
 
 #include "common/contracts.hpp"
+#include "common/log.hpp"
 
 namespace explora::oran {
 
@@ -9,8 +10,37 @@ E2Termination::E2Termination(netsim::Gnb& gnb, RmrRouter& router)
 
 void E2Termination::on_message(const RicMessage& message) {
   if (message.type != MessageType::kRanControl) return;
-  gnb_->apply_control(message.ran_control().control);
+  const RanControl& ran_control = message.ran_control();
+
+  if (!netsim::is_valid_control(ran_control.control)) {
+    ++controls_rejected_;
+    common::logf(common::LogLevel::kWarn, "e2term",
+                 "rejected malformed control {} from {} (decision {})",
+                 ran_control.control.to_string(), message.sender,
+                 ran_control.decision_id);
+    return;  // no apply, no ACK: malformed traffic must not look delivered
+  }
+
+  if (ran_control.seq > 0) {
+    const auto [it, first_time] =
+        applied_seqs_.emplace(message.sender, ran_control.seq);
+    (void)it;
+    if (!first_time) {
+      // A retransmission whose original made it through (the ACK was
+      // lost): apply-once, but re-ACK so the sender stops resending.
+      ++duplicate_controls_ignored_;
+      router_->send(make_ran_control_ack(std::string(endpoint_name()),
+                                         ran_control.seq));
+      return;
+    }
+  }
+
+  gnb_->apply_control(ran_control.control);
   ++controls_applied_;
+  if (ran_control.seq > 0) {
+    router_->send(make_ran_control_ack(std::string(endpoint_name()),
+                                       ran_control.seq));
+  }
 }
 
 void E2Termination::collect_and_publish() {

@@ -1,9 +1,14 @@
 // E2 termination: the RIC-side endpoint of the E2 interface. Downstream it
-// applies RAN-control messages to the gNB; upstream it wraps the gNB's KPI
-// reports into KPM indications for the router.
+// applies RAN-control messages to the gNB — rejecting malformed controls,
+// deduplicating retransmissions on (sender, seq), and confirming
+// sequenced deliveries with RIC_CONTROL_ACK. Upstream it wraps the gNB's
+// KPI reports into KPM indications for the router.
 #pragma once
 
 #include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
 
 #include "netsim/gnb.hpp"
 #include "oran/rmr.hpp"
@@ -19,7 +24,11 @@ class E2Termination final : public RmrEndpoint {
   [[nodiscard]] std::string_view endpoint_name() const noexcept override {
     return "e2term";
   }
-  /// Applies RAN-control messages to the gNB.
+  /// Applies RAN-control messages to the gNB. A control carrying seq > 0
+  /// is ACKed back to its sender and applied at most once per (sender,
+  /// seq) — a retransmitted duplicate is re-ACKed but not re-applied.
+  /// Malformed controls (empty PRB mask, over-budget PRBs, unknown
+  /// scheduler id) are rejected, counted, and never ACKed.
   void on_message(const RicMessage& message) override;
 
   /// Runs one E2 report window on the gNB and publishes the KPM indication.
@@ -31,12 +40,25 @@ class E2Termination final : public RmrEndpoint {
   [[nodiscard]] std::uint64_t indications_sent() const noexcept {
     return indications_sent_;
   }
+  /// Retransmitted controls suppressed by the (sender, seq) guard.
+  [[nodiscard]] std::uint64_t duplicate_controls_ignored() const noexcept {
+    return duplicate_controls_ignored_;
+  }
+  /// Malformed controls refused (satellite: reject, don't apply).
+  [[nodiscard]] std::uint64_t controls_rejected() const noexcept {
+    return controls_rejected_;
+  }
 
  private:
   netsim::Gnb* gnb_;
   RmrRouter* router_;
   std::uint64_t controls_applied_ = 0;
   std::uint64_t indications_sent_ = 0;
+  std::uint64_t duplicate_controls_ignored_ = 0;
+  std::uint64_t controls_rejected_ = 0;
+  /// (sender, seq) pairs already applied — the idempotency guard. seq 0
+  /// (legacy unsequenced sends) is never recorded here.
+  std::set<std::pair<std::string, std::uint64_t>> applied_seqs_;
 };
 
 }  // namespace explora::oran

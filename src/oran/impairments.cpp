@@ -1,0 +1,73 @@
+#include "oran/impairments.hpp"
+
+#include "common/contracts.hpp"
+
+namespace explora::oran {
+
+namespace {
+
+[[nodiscard]] bool valid_probability(double p) noexcept {
+  return p >= 0.0 && p <= 1.0;
+}
+
+}  // namespace
+
+LinkImpairments::LinkImpairments(std::uint64_t seed)
+    : rng_(common::Rng(seed).fork("impairments")) {}
+
+void LinkImpairments::set_policy(MessageType type, std::string target,
+                                 Policy policy) {
+  EXPLORA_EXPECTS(valid_probability(policy.drop));
+  EXPLORA_EXPECTS(valid_probability(policy.delay));
+  EXPLORA_EXPECTS(valid_probability(policy.duplicate));
+  EXPLORA_EXPECTS(valid_probability(policy.reorder));
+  EXPLORA_EXPECTS(policy.delay_rounds >= 1);
+  policies_[PolicyKey{type, std::move(target)}] = policy;
+}
+
+const LinkImpairments::Policy* LinkImpairments::policy_for(
+    MessageType type, std::string_view target) const {
+  auto it = policies_.find(PolicyKey{type, std::string(target)});
+  if (it != policies_.end()) return &it->second;
+  it = policies_.find(PolicyKey{type, "*"});
+  if (it != policies_.end()) return &it->second;
+  return nullptr;
+}
+
+LinkImpairments::Fate LinkImpairments::decide(MessageType type,
+                                              std::string_view target) {
+  const Policy* policy = policy_for(type, target);
+  if (policy == nullptr || policy->perfect()) return Fate::kDeliver;
+  const auto index = static_cast<std::size_t>(type);
+  // All four faults draw unconditionally so the stream consumes exactly
+  // four variates per impaired delivery regardless of the outcome.
+  const bool drop = rng_.bernoulli(policy->drop);
+  const bool delay = rng_.bernoulli(policy->delay);
+  const bool duplicate = rng_.bernoulli(policy->duplicate);
+  const bool reorder = rng_.bernoulli(policy->reorder);
+  if (drop) {
+    ++dropped_[index];
+    return Fate::kDrop;
+  }
+  if (delay) {
+    ++delayed_[index];
+    return Fate::kDelay;
+  }
+  if (duplicate) {
+    ++duplicated_[index];
+    return Fate::kDuplicate;
+  }
+  if (reorder) {
+    ++reordered_[index];
+    return Fate::kReorder;
+  }
+  return Fate::kDeliver;
+}
+
+std::uint32_t LinkImpairments::delay_rounds(MessageType type,
+                                            std::string_view target) const {
+  const Policy* policy = policy_for(type, target);
+  return policy == nullptr ? 1 : policy->delay_rounds;
+}
+
+}  // namespace explora::oran

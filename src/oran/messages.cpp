@@ -6,6 +6,7 @@ std::string to_string(MessageType type) {
   switch (type) {
     case MessageType::kKpmIndication: return "KPM_INDICATION";
     case MessageType::kRanControl: return "RAN_CONTROL";
+    case MessageType::kRanControlAck: return "RIC_CONTROL_ACK";
   }
   return "?";
 }
@@ -19,11 +20,19 @@ RicMessage make_kpm_indication(std::string sender, netsim::KpiReport report) {
 }
 
 RicMessage make_ran_control(std::string sender, netsim::SlicingControl control,
-                            std::uint64_t decision_id) {
+                            std::uint64_t decision_id, std::uint64_t seq) {
   RicMessage msg;
   msg.type = MessageType::kRanControl;
   msg.sender = std::move(sender);
-  msg.payload = RanControl{control, decision_id};
+  msg.payload = RanControl{control, decision_id, seq};
+  return msg;
+}
+
+RicMessage make_ran_control_ack(std::string sender, std::uint64_t seq) {
+  RicMessage msg;
+  msg.type = MessageType::kRanControlAck;
+  msg.sender = std::move(sender);
+  msg.payload = RanControlAck{seq};
   return msg;
 }
 

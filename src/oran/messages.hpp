@@ -15,9 +15,12 @@ namespace explora::oran {
 
 /// RMR message types (stand-ins for numeric RMR message IDs).
 enum class MessageType : std::uint8_t {
-  kKpmIndication = 0,  ///< E2SM-KPM styled KPI report, RAN -> RIC
-  kRanControl = 1,     ///< E2SM-RC styled control action, xApp -> RAN
+  kKpmIndication = 0,   ///< E2SM-KPM styled KPI report, RAN -> RIC
+  kRanControl = 1,      ///< E2SM-RC styled control action, xApp -> RAN
+  kRanControlAck = 2,   ///< RIC_CONTROL_ACK: per-hop delivery confirmation
 };
+
+inline constexpr std::size_t kNumMessageTypes = 3;
 
 [[nodiscard]] std::string to_string(MessageType type);
 
@@ -31,13 +34,23 @@ struct RanControl {
   netsim::SlicingControl control;
   /// Monotonic decision counter assigned by the emitting xApp.
   std::uint64_t decision_id = 0;
+  /// Per-hop delivery sequence number assigned by the transmitting endpoint
+  /// (ReliableControlSender). 0 = unsequenced legacy send: applied
+  /// unconditionally, never ACKed, never deduplicated.
+  std::uint64_t seq = 0;
+};
+
+/// RIC_CONTROL_ACK payload: confirms receipt of the control carrying `seq`.
+/// Routed back to the transmitting endpoint by (type, acker) routes.
+struct RanControlAck {
+  std::uint64_t seq = 0;
 };
 
 /// One RIC-internal message with its routing metadata.
 struct RicMessage {
   MessageType type = MessageType::kKpmIndication;
   std::string sender;  ///< emitting endpoint name
-  std::variant<KpmIndication, RanControl> payload;
+  std::variant<KpmIndication, RanControl, RanControlAck> payload;
 
   [[nodiscard]] const KpmIndication& kpm() const {
     return std::get<KpmIndication>(payload);
@@ -45,15 +58,24 @@ struct RicMessage {
   [[nodiscard]] const RanControl& ran_control() const {
     return std::get<RanControl>(payload);
   }
+  [[nodiscard]] const RanControlAck& control_ack() const {
+    return std::get<RanControlAck>(payload);
+  }
 };
 
 /// Builds a KPM indication message.
 [[nodiscard]] RicMessage make_kpm_indication(std::string sender,
                                              netsim::KpiReport report);
 
-/// Builds a RAN-control message.
+/// Builds a RAN-control message. `seq` = 0 keeps the legacy unsequenced
+/// semantics (no ACK, no duplicate suppression).
 [[nodiscard]] RicMessage make_ran_control(std::string sender,
                                           netsim::SlicingControl control,
-                                          std::uint64_t decision_id);
+                                          std::uint64_t decision_id,
+                                          std::uint64_t seq = 0);
+
+/// Builds a RIC_CONTROL_ACK for the control carrying `seq`.
+[[nodiscard]] RicMessage make_ran_control_ack(std::string sender,
+                                              std::uint64_t seq);
 
 }  // namespace explora::oran

@@ -24,6 +24,10 @@ void NearRtRic::subscribe_indications(const std::string& endpoint) {
 void NearRtRic::route_control(const std::string& drl_endpoint) {
   router_.remove_route(MessageType::kRanControl, drl_endpoint);
   router_.add_route(MessageType::kRanControl, drl_endpoint, "e2term");
+  // Reliable delivery is per hop: the E2 termination ACKs straight back
+  // to the DRL xApp on the direct path.
+  router_.remove_route(MessageType::kRanControlAck, "e2term");
+  router_.add_route(MessageType::kRanControlAck, "e2term", drl_endpoint);
 }
 
 void NearRtRic::route_control_via(const std::string& drl_endpoint,
@@ -33,6 +37,14 @@ void NearRtRic::route_control_via(const std::string& drl_endpoint,
                     interposer_endpoint);
   router_.remove_route(MessageType::kRanControl, interposer_endpoint);
   router_.add_route(MessageType::kRanControl, interposer_endpoint, "e2term");
+  // ACKs retrace each control hop: e2term confirms to the interposer, the
+  // interposer confirms to the DRL xApp.
+  router_.remove_route(MessageType::kRanControlAck, "e2term");
+  router_.add_route(MessageType::kRanControlAck, "e2term",
+                    interposer_endpoint);
+  router_.remove_route(MessageType::kRanControlAck, interposer_endpoint);
+  router_.add_route(MessageType::kRanControlAck, interposer_endpoint,
+                    drl_endpoint);
 }
 
 void NearRtRic::run_windows(std::size_t windows) {

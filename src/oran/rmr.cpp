@@ -1,5 +1,8 @@
 #include "oran/rmr.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/contracts.hpp"
 #include "common/log.hpp"
 
@@ -26,6 +29,11 @@ void RmrRouter::remove_route(MessageType type, std::string_view sender) {
   routes_.erase(RouteKey{type, std::string(sender)});
 }
 
+LinkImpairments& RmrRouter::configure_impairments(std::uint64_t seed) {
+  impairments_ = std::make_unique<LinkImpairments>(seed);
+  return *impairments_;
+}
+
 const std::vector<std::string>* RmrRouter::find_targets(
     const RicMessage& message) const {
   // Most specific first: exact sender, then wildcard.
@@ -37,37 +45,106 @@ const std::vector<std::string>* RmrRouter::find_targets(
 }
 
 void RmrRouter::send(RicMessage message) {
-  queue_.push_back(std::move(message));
+  queue_.push_back(Envelope{std::move(message), std::nullopt});
   if (dispatching_) return;  // the active drain loop will pick it up
+  ++round_;
+  release_due(round_);
+  drain();
+}
+
+void RmrRouter::flush_delayed() {
+  if (held_.empty()) return;
+  release_due(std::numeric_limits<std::uint64_t>::max());
+  if (!dispatching_) drain();
+}
+
+void RmrRouter::release_due(std::uint64_t up_to_round) {
+  if (held_.empty()) return;
+  // Stable: due messages re-enter the queue in the order they were held.
+  auto due_end = std::stable_partition(
+      held_.begin(), held_.end(), [up_to_round](const HeldEnvelope& held) {
+        return held.release_round <= up_to_round;
+      });
+  for (auto it = held_.begin(); it != due_end; ++it) {
+    queue_.push_back(std::move(it->envelope));
+  }
+  held_.erase(held_.begin(), due_end);
+}
+
+void RmrRouter::drain() {
   dispatching_ = true;
   while (!queue_.empty()) {
-    const RicMessage current = std::move(queue_.front());
+    Envelope current = std::move(queue_.front());
     queue_.pop_front();
-    dispatch(current);
+    dispatch(std::move(current));
   }
   dispatching_ = false;
 }
 
-void RmrRouter::dispatch(const RicMessage& message) {
-  const auto* targets = find_targets(message);
+void RmrRouter::drop_unroutable(const RicMessage& message,
+                                std::string_view reason) {
+  ++dropped_;
+  ++dropped_by_type_[static_cast<std::size_t>(message.type)];
+  common::logf(common::LogLevel::kWarn, "rmr", "dropped {} from {} ({})",
+               to_string(message.type), message.sender, reason);
+}
+
+void RmrRouter::dispatch(Envelope envelope) {
+  // Router-reinjected deliveries (released delays, duplicate copies,
+  // reordered messages) bypass routing and the impairment model.
+  if (envelope.direct_target.has_value()) {
+    const auto it = endpoints_.find(*envelope.direct_target);
+    if (it == endpoints_.end()) {
+      drop_unroutable(envelope.message, "target vanished");
+      return;
+    }
+    deliver(envelope.message, *envelope.direct_target);
+    return;
+  }
+
+  const auto* targets = find_targets(envelope.message);
   if (targets == nullptr || targets->empty()) {
-    ++dropped_;
-    common::logf(common::LogLevel::kDebug, "rmr",
-                 "dropped {} from {} (no route)", to_string(message.type),
-                 message.sender);
+    drop_unroutable(envelope.message, "no route");
     return;
   }
   for (const std::string& target : *targets) {
     const auto it = endpoints_.find(target);
     if (it == endpoints_.end()) {
-      ++dropped_;
-      common::logf(common::LogLevel::kWarn, "rmr",
-                   "route target {} is not registered", target);
+      drop_unroutable(envelope.message, "route target not registered");
       continue;
     }
-    ++delivery_counts_[target];
-    it->second->on_message(message);
+    if (impairments_ != nullptr) {
+      switch (impairments_->decide(envelope.message.type, target)) {
+        case LinkImpairments::Fate::kDrop:
+          continue;  // lost on this hop
+        case LinkImpairments::Fate::kDelay:
+          held_.push_back(HeldEnvelope{
+              round_ + impairments_->delay_rounds(envelope.message.type,
+                                                  target),
+              Envelope{envelope.message, target}});
+          continue;
+        case LinkImpairments::Fate::kDuplicate:
+          // Deliver now; the copy arrives one round later.
+          held_.push_back(HeldEnvelope{round_ + 1,
+                                       Envelope{envelope.message, target}});
+          break;
+        case LinkImpairments::Fate::kReorder:
+          // Re-queue behind everything currently pending; no re-impairment.
+          queue_.push_back(Envelope{envelope.message, target});
+          continue;
+        case LinkImpairments::Fate::kDeliver:
+          break;
+      }
+    }
+    deliver(envelope.message, target);
   }
+}
+
+void RmrRouter::deliver(const RicMessage& message, const std::string& target) {
+  const auto it = endpoints_.find(target);
+  EXPLORA_ASSERT(it != endpoints_.end());
+  ++delivery_counts_[target];
+  it->second->on_message(message);
 }
 
 std::uint64_t RmrRouter::delivered_to(std::string_view target) const {

@@ -7,15 +7,25 @@
 //
 // Dispatch is synchronous but queued (breadth-first), so a handler that
 // emits messages never recurses into other handlers.
+//
+// An optional LinkImpairments model makes the router lossy on purpose:
+// per-(type, target) drop / delay / duplicate / reorder fates, decided in
+// dispatch order from one seeded stream. Time for delayed messages is
+// counted in *dispatch rounds* — one round per top-level send() — so a
+// chaos run needs no wall clock and stays bit-reproducible.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "oran/impairments.hpp"
 #include "oran/messages.hpp"
 
 namespace explora::oran {
@@ -42,13 +52,42 @@ class RmrRouter {
   /// Removes all routes for (type, sender).
   void remove_route(MessageType type, std::string_view sender);
 
-  /// Enqueues and dispatches until the queue drains.
+  /// Enqueues and dispatches until the queue drains. Each top-level call
+  /// (not re-entrant sends from handlers) advances the dispatch round and
+  /// first releases any impairment-delayed messages that are due.
   void send(RicMessage message);
+
+  /// Installs the impairment model (replacing any previous one) and
+  /// returns it for policy configuration. The router owns the model.
+  LinkImpairments& configure_impairments(std::uint64_t seed);
+  /// The active impairment model, or nullptr for a perfect fabric.
+  [[nodiscard]] LinkImpairments* impairments() noexcept {
+    return impairments_.get();
+  }
+  [[nodiscard]] const LinkImpairments* impairments() const noexcept {
+    return impairments_.get();
+  }
+  void clear_impairments() noexcept { impairments_.reset(); }
+
+  /// Releases every still-held delayed message immediately and drains the
+  /// queue (end-of-run cleanup for chaos harnesses).
+  void flush_delayed();
+  /// Messages currently held back by a delay fate.
+  [[nodiscard]] std::size_t pending_delayed() const noexcept {
+    return held_.size();
+  }
+  /// Top-level dispatch rounds completed so far.
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return round_; }
 
   /// Messages delivered per target endpoint (telemetry / tests).
   [[nodiscard]] std::uint64_t delivered_to(std::string_view target) const;
-  /// Messages that matched no route (silently dropped, like RMR).
+  /// Messages that matched no route or an unregistered target (dropped,
+  /// like RMR — but loudly: each drop logs a warning).
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Unroutable drops broken down by message type.
+  [[nodiscard]] std::uint64_t dropped_by_type(MessageType type) const noexcept {
+    return dropped_by_type_[static_cast<std::size_t>(type)];
+  }
 
  private:
   struct RouteKey {
@@ -60,15 +99,37 @@ class RmrRouter {
     }
   };
 
+  /// One queued delivery. Routed envelopes (no target) are resolved
+  /// against the route table and pass the impairment model; direct
+  /// envelopes (router-reinjected: released delays, duplicates, reorders)
+  /// go straight to their target.
+  struct Envelope {
+    RicMessage message;
+    std::optional<std::string> direct_target;
+  };
+
+  struct HeldEnvelope {
+    std::uint64_t release_round = 0;
+    Envelope envelope;
+  };
+
   [[nodiscard]] const std::vector<std::string>* find_targets(
       const RicMessage& message) const;
-  void dispatch(const RicMessage& message);
+  void dispatch(Envelope envelope);
+  void deliver(const RicMessage& message, const std::string& target);
+  void drop_unroutable(const RicMessage& message, std::string_view reason);
+  void release_due(std::uint64_t up_to_round);
+  void drain();
 
   std::map<std::string, RmrEndpoint*, std::less<>> endpoints_;
   std::map<RouteKey, std::vector<std::string>> routes_;
   std::map<std::string, std::uint64_t, std::less<>> delivery_counts_;
   std::uint64_t dropped_ = 0;
-  std::deque<RicMessage> queue_;
+  std::array<std::uint64_t, kNumMessageTypes> dropped_by_type_{};
+  std::deque<Envelope> queue_;
+  std::vector<HeldEnvelope> held_;
+  std::unique_ptr<LinkImpairments> impairments_;
+  std::uint64_t round_ = 0;
   bool dispatching_ = false;
 };
 

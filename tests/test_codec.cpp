@@ -46,12 +46,21 @@ TEST(Codec, KpmIndicationRoundTrip) {
 
 TEST(Codec, RanControlRoundTrip) {
   const RicMessage original =
-      make_ran_control("drl_xapp", sample_control(), 42);
+      make_ran_control("drl_xapp", sample_control(), 42, 7);
   const RicMessage decoded = decode_message(encode_message(original));
   EXPECT_EQ(decoded.type, MessageType::kRanControl);
   EXPECT_EQ(decoded.sender, "drl_xapp");
   EXPECT_EQ(decoded.ran_control().control, sample_control());
   EXPECT_EQ(decoded.ran_control().decision_id, 42u);
+  EXPECT_EQ(decoded.ran_control().seq, 7u);
+}
+
+TEST(Codec, ControlAckRoundTrip) {
+  const RicMessage original = make_ran_control_ack("e2term", 99);
+  const RicMessage decoded = decode_message(encode_message(original));
+  EXPECT_EQ(decoded.type, MessageType::kRanControlAck);
+  EXPECT_EQ(decoded.sender, "e2term");
+  EXPECT_EQ(decoded.control_ack().seq, 99u);
 }
 
 TEST(Codec, EmptyReportRoundTrip) {
@@ -77,8 +86,9 @@ TEST(Codec, RejectsTrailingGarbage) {
 
 TEST(Codec, RejectsCorruptedSchedulerPolicy) {
   auto wire = encode_message(make_ran_control("x", sample_control(), 1));
-  // The three scheduler u32s sit before the trailing decision_id u64.
-  const std::size_t policy_offset = wire.size() - sizeof(std::uint64_t) - 4;
+  // The three scheduler u32s sit before the trailing decision_id + seq u64s.
+  const std::size_t policy_offset =
+      wire.size() - 2 * sizeof(std::uint64_t) - 4;
   wire[policy_offset] = 0x7F;
   EXPECT_THROW((void)decode_message(wire), common::SerializeError);
 }

@@ -112,6 +112,44 @@ TEST(Contracts, OversubscribedPrbBudgetViolatesPrecondition) {
   }
 }
 
+TEST(Contracts, EmptyPrbMaskViolatesMalformedControlGate) {
+  contracts::ScopedContractHandler guard(&throwing_handler);
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 1, 1};
+  auto gnb = netsim::make_gnb(scenario);
+  netsim::SlicingControl control;
+  control.prbs = {0, 0, 0};  // an all-empty PRB mask allocates nothing
+  control.scheduling = {netsim::SchedulerPolicy::kRoundRobin,
+                        netsim::SchedulerPolicy::kRoundRobin,
+                        netsim::SchedulerPolicy::kRoundRobin};
+  try {
+    gnb->apply_control(control);
+    FAIL() << "empty PRB mask should have fired";
+  } catch (const ViolationError& e) {
+    EXPECT_EQ(e.kind, "precondition");
+    EXPECT_NE(e.message.find("malformed"), std::string::npos);
+  }
+}
+
+TEST(Contracts, UnknownSchedulerIdViolatesMalformedControlGate) {
+  contracts::ScopedContractHandler guard(&throwing_handler);
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 1, 1};
+  auto gnb = netsim::make_gnb(scenario);
+  netsim::SlicingControl control;
+  control.prbs = {20, 20, 10};
+  control.scheduling = {static_cast<netsim::SchedulerPolicy>(99),
+                        netsim::SchedulerPolicy::kRoundRobin,
+                        netsim::SchedulerPolicy::kRoundRobin};
+  try {
+    gnb->apply_control(control);
+    FAIL() << "unknown scheduler id should have fired";
+  } catch (const ViolationError& e) {
+    EXPECT_EQ(e.kind, "precondition");
+    EXPECT_NE(e.message.find("malformed"), std::string::npos);
+  }
+}
+
 TEST(Contracts, OutOfRangeCqiViolatesPrecondition) {
   contracts::ScopedContractHandler guard(&throwing_handler);
   EXPECT_THROW((void)netsim::cqi_spectral_efficiency(99), ViolationError);

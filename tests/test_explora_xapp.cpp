@@ -220,5 +220,160 @@ TEST(ExploraXapp, SteeringAccessorRequiresEnabledSteering) {
   EXPECT_DEATH((void)pipe.xapp->steering(), "");
 }
 
+// ---------------------------------------------------------------------------
+// Degraded-mode watchdog + reliable-delivery resilience
+// ---------------------------------------------------------------------------
+
+netsim::KpiReport report_at(netsim::Tick window_end, double bitrate) {
+  netsim::KpiReport out = report(bitrate, 10, 100);
+  out.window_end = window_end;
+  return out;
+}
+
+TEST(ExploraXapp, KpmGapEntersDegradedModeAndArchives) {
+  ExploraXapp::Config config;
+  config.expected_report_period = 25;
+  config.recovery_reports = 2;
+  Pipeline pipe(config);
+
+  pipe.drl_control(control(36, 3, 11), 1);
+  pipe.indication(report_at(25, 4));
+  pipe.indication(report_at(50, 4));   // window of 2 finalized
+  pipe.indication(report_at(75, 4));   // pending partial window
+  EXPECT_FALSE(pipe.xapp->degraded());
+
+  // Two indications lost: next window_end jumps 75 TTIs instead of 25.
+  pipe.indication(report_at(150, 4));
+  EXPECT_TRUE(pipe.xapp->degraded());
+  EXPECT_EQ(pipe.xapp->degradation_events(), 1u);
+  EXPECT_EQ(pipe.xapp->indications_missed(), 2u);
+  EXPECT_EQ(pipe.xapp->reports_discarded(), 1u);  // the partial window
+  ASSERT_EQ(pipe.repo.degradations().size(), 1u);
+  EXPECT_EQ(pipe.repo.degradations()[0].phase,
+            oran::DegradationRecord::Phase::kEnter);
+  EXPECT_EQ(pipe.repo.degradations()[0].missed_windows, 2u);
+  EXPECT_EQ(pipe.repo.degradations()[0].detected_at, 150);
+
+  // While degraded, indications do not feed the graph.
+  const ActionNode* node = pipe.xapp->graph().find(control(36, 3, 11));
+  ASSERT_NE(node, nullptr);
+  const std::uint64_t samples_before = node->samples;
+
+  // Recovery: `recovery_reports` consecutive in-sequence indications. The
+  // report completing the streak is processed normally again.
+  pipe.indication(report_at(175, 4));
+  EXPECT_FALSE(pipe.xapp->degraded());
+  ASSERT_EQ(pipe.repo.degradations().size(), 2u);
+  EXPECT_EQ(pipe.repo.degradations()[1].phase,
+            oran::DegradationRecord::Phase::kRecover);
+  EXPECT_EQ(pipe.xapp->graph().find(control(36, 3, 11))->samples,
+            samples_before + 1);
+}
+
+TEST(ExploraXapp, RepeatedGapWhileDegradedRestartsRecovery) {
+  ExploraXapp::Config config;
+  config.expected_report_period = 25;
+  config.recovery_reports = 2;
+  Pipeline pipe(config);
+
+  pipe.drl_control(control(36, 3, 11), 1);
+  pipe.indication(report_at(25, 4));
+  pipe.indication(report_at(100, 4));  // gap -> degraded, streak 1
+  EXPECT_TRUE(pipe.xapp->degraded());
+  pipe.indication(report_at(175, 4));  // another gap: streak restarts at 1
+  EXPECT_TRUE(pipe.xapp->degraded());
+  EXPECT_EQ(pipe.xapp->degradation_events(), 1u);  // still one episode
+  pipe.indication(report_at(200, 4));  // streak 2 -> recovered
+  EXPECT_FALSE(pipe.xapp->degraded());
+}
+
+TEST(ExploraXapp, InfersReportPeriodWhenUnconfigured) {
+  Pipeline pipe;  // expected_report_period = 0: infer from spacing
+  pipe.drl_control(control(36, 3, 11), 1);
+  pipe.indication(report_at(25, 4));
+  pipe.indication(report_at(50, 4));  // period learned: 25
+  EXPECT_FALSE(pipe.xapp->degraded());
+  pipe.indication(report_at(125, 4));  // 75-TTI jump vs learned 25
+  EXPECT_TRUE(pipe.xapp->degraded());
+  EXPECT_EQ(pipe.xapp->indications_missed(), 2u);
+}
+
+TEST(ExploraXapp, DegradedModeHoldsLastSafeAction) {
+  ExploraXapp::Config config;
+  config.expected_report_period = 25;
+  config.degraded_hold_last = true;
+  Pipeline pipe(config);
+
+  const auto safe = control(36, 3, 11);
+  const auto risky = control(6, 9, 35);
+  pipe.drl_control(safe, 1);  // enforced while healthy
+  pipe.indication(report_at(25, 4));
+  pipe.indication(report_at(100, 4));  // gap -> degraded
+  ASSERT_TRUE(pipe.xapp->degraded());
+
+  pipe.drl_control(risky, 2);
+  ASSERT_EQ(pipe.sink.controls.size(), 2u);
+  EXPECT_EQ(pipe.sink.controls[1], safe);  // held, not the proposal
+  EXPECT_EQ(pipe.xapp->controls_replaced(), 1u);
+  const auto& record = pipe.repo.explanations()[1];
+  EXPECT_TRUE(record.replaced);
+  EXPECT_NE(record.explanation.find("degraded"), std::string::npos);
+}
+
+TEST(ExploraXapp, DegradedModeSkipsSteeringButKeepsShield) {
+  ExploraXapp::Config config;
+  config.expected_report_period = 25;
+  ActionSteering::Config steering;
+  steering.strategy = SteeringStrategy::kMaxReward;
+  steering.observation_window = 2;
+  config.steering = steering;
+  netsim::SlicingControl fallback = control(18, 15, 17);
+  ActionShield shield(fallback);
+  shield.add_rule(ActionShield::min_prbs_rule(netsim::Slice::kUrllc, 10));
+  config.shield = std::move(shield);
+  Pipeline pipe(config);
+
+  pipe.drl_control(control(18, 15, 17), 1);
+  pipe.indication(report_at(25, 4));
+  pipe.indication(report_at(100, 4));  // gap -> degraded
+  ASSERT_TRUE(pipe.xapp->degraded());
+
+  // Steering is frozen (stale evidence) but the shield still blocks a
+  // rule-violating proposal.
+  pipe.drl_control(control(42, 3, 5), 2);  // URLLC 5 < 10
+  ASSERT_EQ(pipe.sink.controls.size(), 2u);
+  EXPECT_EQ(pipe.sink.controls[1], fallback);
+  EXPECT_NE(pipe.repo.explanations()[1].explanation.find("degraded"),
+            std::string::npos);
+}
+
+TEST(ExploraXapp, DuplicateUpstreamControlsForwardedOnce) {
+  Pipeline pipe;
+  const auto action = control(36, 3, 11);
+  pipe.router.send(oran::make_ran_control("drl", action, 1, /*seq=*/4));
+  pipe.router.send(oran::make_ran_control("drl", action, 1, /*seq=*/4));
+  EXPECT_EQ(pipe.sink.controls.size(), 1u);  // forwarded exactly once
+  EXPECT_EQ(pipe.xapp->controls_seen(), 1u);
+  EXPECT_EQ(pipe.xapp->duplicate_controls_ignored(), 1u);
+  EXPECT_EQ(pipe.repo.explanations().size(), 1u);  // archived once
+}
+
+TEST(ExploraXapp, ReliableForwardingCarriesOwnSequence) {
+  ExploraXapp::Config config;
+  config.reliable = oran::ReliableControlSender::Config{};
+  Pipeline pipe(config);
+  pipe.router.add_route(oran::MessageType::kRanControlAck, "e2term",
+                        "explora_xapp");
+
+  pipe.drl_control(control(36, 3, 11), 1);
+  ASSERT_NE(pipe.xapp->reliable(), nullptr);
+  EXPECT_EQ(pipe.xapp->reliable()->sent(), 1u);
+  EXPECT_EQ(pipe.xapp->reliable()->in_flight(), 1u);  // sink never ACKs
+
+  // An ACK from the e2term clears the in-flight entry.
+  pipe.router.send(oran::make_ran_control_ack("e2term", 1));
+  EXPECT_EQ(pipe.xapp->reliable()->in_flight(), 0u);
+}
+
 }  // namespace
 }  // namespace explora::core

@@ -3,6 +3,7 @@
 // training pipeline (harness/training) on reduced budgets.
 #include <gtest/gtest.h>
 
+#include "explora/xapp.hpp"
 #include "harness/experiment.hpp"
 #include "harness/training.hpp"
 #include "oran/drl_xapp.hpp"
@@ -195,6 +196,103 @@ TEST(Ric, ControlRoutingModes) {
   // Indications reach the repository by default.
   ric.run_windows(3);
   EXPECT_EQ(ric.repository().report_count(), 3u);
+}
+
+TEST(Experiment, FaultInjectedRunStaysExactlyOnce) {
+  ExperimentOptions options;
+  options.decisions = 12;
+  options.reliable = oran::ReliableControlSender::Config{
+      .ack_timeout_ticks = 1, .max_retries = 12, .backoff_factor = 1};
+  FaultInjectionOptions faults;
+  faults.seed = 11;
+  faults.control = {.drop = 0.1};
+  faults.ack = {.drop = 0.1};
+  options.faults = faults;
+  const ExperimentResult result =
+      run_experiment(tiny_system(), tiny_scenario(), options, tiny_training());
+
+  ASSERT_TRUE(result.faults.has_value());
+  const FaultTelemetry& t = *result.faults;
+  EXPECT_GT(t.controls_dropped + t.acks_dropped, 0u);  // faults fired
+  EXPECT_GT(t.retransmissions, 0u);                    // and were repaired
+  EXPECT_EQ(t.retries_expired, 0u);
+  EXPECT_EQ(t.controls_in_flight, 0u);
+  EXPECT_EQ(t.controls_applied, t.controls_decided);   // exactly once
+  EXPECT_EQ(t.controls_rejected, 0u);
+}
+
+TEST(Experiment, FaultInjectedRunIsDeterministic) {
+  ExperimentOptions options;
+  options.decisions = 10;
+  options.reliable = oran::ReliableControlSender::Config{
+      .ack_timeout_ticks = 1, .max_retries = 12, .backoff_factor = 1};
+  FaultInjectionOptions faults;
+  faults.seed = 11;
+  faults.control = {.drop = 0.1, .delay = 0.1, .delay_rounds = 1};
+  options.faults = faults;
+  const ExperimentResult a =
+      run_experiment(tiny_system(), tiny_scenario(), options, tiny_training());
+  const ExperimentResult b =
+      run_experiment(tiny_system(), tiny_scenario(), options, tiny_training());
+  ASSERT_TRUE(a.faults.has_value() && b.faults.has_value());
+  EXPECT_EQ(a.faults->controls_dropped, b.faults->controls_dropped);
+  EXPECT_EQ(a.faults->retransmissions, b.faults->retransmissions);
+  EXPECT_EQ(a.embb_bitrate_mbps, b.embb_bitrate_mbps);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].enforced, b.decisions[i].enforced);
+  }
+}
+
+TEST(Ric, MidRunRepointingLosesNoControls) {
+  // Interpose and de-interpose the EXPLORA xApp between report windows
+  // (route_control <-> route_control_via): every decision must still be
+  // applied exactly once — nothing lost, nothing double-delivered.
+  const TrainedSystem& system = tiny_system();
+  oran::NearRtRic ric(netsim::make_gnb(tiny_scenario()));
+
+  oran::DrlXapp::Config drl_config;
+  drl_config.reports_per_decision = 5;
+  drl_config.reliable = oran::ReliableControlSender::Config{};
+  oran::DrlXapp drl(drl_config, system.normalizer, *system.autoencoder,
+                    *system.agent, ric.router());
+  ric.attach_xapp(drl);
+  ric.subscribe_indications("drl_xapp");
+
+  core::ExploraXapp::Config xapp_config;
+  xapp_config.reports_per_decision = 5;
+  xapp_config.reliable = oran::ReliableControlSender::Config{};
+  core::ExploraXapp explora(xapp_config, ric.router(), &ric.repository());
+  ric.attach_xapp(explora);
+  ric.subscribe_indications("explora_xapp");
+
+  ric.route_control("drl_xapp");
+  ric.run_windows(15);  // warm-up + direct decisions at windows 10, 15
+  EXPECT_EQ(drl.decisions_made(), 2u);
+
+  ric.route_control_via("drl_xapp", "explora_xapp");  // interpose
+  ric.run_windows(10);  // decisions at 20, 25 flow through EXPLORA
+  EXPECT_EQ(drl.decisions_made(), 4u);
+  EXPECT_EQ(explora.controls_seen(), 2u);
+
+  ric.route_control("drl_xapp");  // de-interpose
+  ric.run_windows(10);  // decisions at 30, 35 bypass EXPLORA again
+  EXPECT_EQ(drl.decisions_made(), 6u);
+  EXPECT_EQ(explora.controls_seen(), 2u);
+
+  // Exactly-once end to end across both re-pointings.
+  EXPECT_EQ(ric.e2_termination().controls_applied(), 6u);
+  EXPECT_EQ(ric.e2_termination().duplicate_controls_ignored(), 0u);
+  EXPECT_EQ(ric.e2_termination().controls_rejected(), 0u);
+  EXPECT_EQ(explora.duplicate_controls_ignored(), 0u);
+  ASSERT_NE(drl.reliable(), nullptr);
+  EXPECT_EQ(drl.reliable()->in_flight(), 0u);
+  EXPECT_EQ(drl.reliable()->acked(), 6u);
+  ASSERT_NE(explora.reliable(), nullptr);
+  EXPECT_EQ(explora.reliable()->in_flight(), 0u);
+  // Control-plane traffic was never silently dropped by the router.
+  EXPECT_EQ(ric.router().dropped_by_type(oran::MessageType::kRanControl),
+            0u);
 }
 
 TEST(Ric, DrlXappDecidesEveryMReports) {

@@ -109,6 +109,17 @@ TEST(RmrRouter, UnknownTargetCountsAsDrop) {
   EXPECT_EQ(router.dropped(), 1u);
 }
 
+TEST(RmrRouter, DropCountersAreKeyedByMessageType) {
+  RmrRouter router;
+  router.send(make_ran_control("nobody", some_control(), 1));
+  router.send(make_ran_control("nobody", some_control(), 2));
+  router.send(make_kpm_indication("nobody", netsim::KpiReport{}));
+  EXPECT_EQ(router.dropped(), 3u);
+  EXPECT_EQ(router.dropped_by_type(MessageType::kRanControl), 2u);
+  EXPECT_EQ(router.dropped_by_type(MessageType::kKpmIndication), 1u);
+  EXPECT_EQ(router.dropped_by_type(MessageType::kRanControlAck), 0u);
+}
+
 TEST(RmrRouter, RemoveRouteRewiresPath) {
   RmrRouter router;
   RecordingEndpoint direct("direct");
@@ -212,6 +223,37 @@ TEST(E2Termination, AppliesControlToGnb) {
   e2term.on_message(make_ran_control("drl", some_control(), 1));
   EXPECT_EQ(gnb_ref.control(), some_control());
   EXPECT_EQ(e2term.controls_applied(), 1u);
+}
+
+TEST(E2Termination, RejectsMalformedControlWithoutApplyOrAck) {
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 1, 1};
+  auto gnb = netsim::make_gnb(scenario);
+  RmrRouter router;
+  E2Termination e2term(*gnb, router);
+  router.register_endpoint(e2term);
+  RecordingEndpoint drl("drl");
+  router.register_endpoint(drl);
+  router.add_route(MessageType::kRanControlAck, "e2term", "drl");
+  const netsim::SlicingControl before = gnb->control();
+
+  netsim::SlicingControl malformed;
+  malformed.prbs = {0, 0, 0};  // empty PRB mask
+  malformed.scheduling = {netsim::SchedulerPolicy::kRoundRobin,
+                          netsim::SchedulerPolicy::kRoundRobin,
+                          netsim::SchedulerPolicy::kRoundRobin};
+  e2term.on_message(make_ran_control("drl", malformed, 1, /*seq=*/3));
+
+  EXPECT_EQ(e2term.controls_rejected(), 1u);
+  EXPECT_EQ(e2term.controls_applied(), 0u);
+  EXPECT_EQ(gnb->control(), before);   // gNB state untouched
+  EXPECT_TRUE(drl.received.empty());   // no ACK: it was not delivered
+
+  netsim::SlicingControl bad_policy = some_control();
+  bad_policy.scheduling[1] = static_cast<netsim::SchedulerPolicy>(99);
+  e2term.on_message(make_ran_control("drl", bad_policy, 2, /*seq=*/4));
+  EXPECT_EQ(e2term.controls_rejected(), 2u);
+  EXPECT_EQ(e2term.controls_applied(), 0u);
 }
 
 TEST(E2Termination, PublishesIndications) {

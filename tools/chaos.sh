@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Chaos gate: sweeps RMR fault intensities over full closed-loop runs and
+# checks the robustness contract (tools/chaos_sweep exits non-zero when a
+# control is lost/double-applied or reward degrades beyond the bound), then
+# verifies bit-reproducibility: the same seed + fault configuration must
+# produce byte-identical JSON across repeat runs and EXPLORA_THREADS
+# values, and a second seed must satisfy the same contract.
+#
+# Usage:
+#   tools/chaos.sh                 # configure+build into build/, then sweep
+#   tools/chaos.sh build-asan      # reuse an existing build tree
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${CHAOS_OUT_DIR:-${BUILD_DIR}/chaos}"
+SEED_A="${CHAOS_SEED_A:-31}"
+SEED_B="${CHAOS_SEED_B:-77}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  cmake --preset default
+fi
+cmake --build "${BUILD_DIR}" --target chaos_sweep -j
+
+SWEEP="${BUILD_DIR}/tools/chaos_sweep"
+mkdir -p "${OUT_DIR}"
+
+echo "==== chaos sweep: seed ${SEED_A} ===="
+"${SWEEP}" --seed "${SEED_A}" --out "${OUT_DIR}/seed${SEED_A}_run1.json"
+"${SWEEP}" --seed "${SEED_A}" --out "${OUT_DIR}/seed${SEED_A}_run2.json"
+
+echo "==== determinism: repeat run ===="
+cmp "${OUT_DIR}/seed${SEED_A}_run1.json" "${OUT_DIR}/seed${SEED_A}_run2.json"
+
+echo "==== determinism: EXPLORA_THREADS invariance ===="
+EXPLORA_THREADS=1 "${SWEEP}" --seed "${SEED_A}" \
+  --out "${OUT_DIR}/seed${SEED_A}_t1.json"
+EXPLORA_THREADS=8 "${SWEEP}" --seed "${SEED_A}" \
+  --out "${OUT_DIR}/seed${SEED_A}_t8.json"
+cmp "${OUT_DIR}/seed${SEED_A}_run1.json" "${OUT_DIR}/seed${SEED_A}_t1.json"
+cmp "${OUT_DIR}/seed${SEED_A}_run1.json" "${OUT_DIR}/seed${SEED_A}_t8.json"
+
+echo "==== chaos sweep: seed ${SEED_B} ===="
+"${SWEEP}" --seed "${SEED_B}" --fault-seed 7 \
+  --out "${OUT_DIR}/seed${SEED_B}_run1.json"
+
+echo "==== chaos gate passed ===="

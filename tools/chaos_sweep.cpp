@@ -1,0 +1,125 @@
+// chaos_sweep — fault-injection sweep over the full closed control loop.
+//
+//   chaos_sweep [--seed S] [--fault-seed F] [--decisions N] [--out FILE]
+//               [--max-degradation D]
+//
+// Trains (or loads from the artifact cache) a reduced-budget agent, runs
+// the fault-free baseline plus the default fault points of
+// harness::default_fault_points(), and writes one deterministic JSON
+// document. Exit status is 0 only when every sweep point satisfies the
+// robustness contract: all controls applied exactly once and mean reward
+// within --max-degradation of the baseline.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "harness/chaos.hpp"
+#include "harness/training.hpp"
+
+namespace {
+
+using namespace explora;
+
+struct CliOptions {
+  std::uint64_t seed = 31;
+  std::uint64_t fault_seed = 4242;
+  std::size_t decisions = 24;
+  double max_degradation = 0.20;
+  std::string out_file;
+};
+
+void usage() {
+  std::fputs(
+      "usage: chaos_sweep [options]\n"
+      "  --seed S             scenario seed (default 31)\n"
+      "  --fault-seed F       impairment stream seed (default 4242)\n"
+      "  --decisions N        decision periods per run (default 24)\n"
+      "  --max-degradation D  reward-degradation bound (default 0.20)\n"
+      "  --out FILE           write the JSON report here (default stdout)\n",
+      stderr);
+}
+
+/// Reduced training budget: enough for a usable agent, small enough that a
+/// cold CI run trains in seconds. Cached under artifacts/ like every other
+/// harness entry point.
+harness::TrainingConfig sweep_training() {
+  harness::TrainingConfig config;
+  config.collection_steps = 30;
+  config.autoencoder.epochs = 5;
+  config.ppo_iterations = 2;
+  config.steps_per_iteration = 32;
+  config.seed = 99;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fault-seed") {
+      options.fault_seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--decisions") {
+      options.decisions = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-degradation") {
+      options.max_degradation = std::strtod(next(), nullptr);
+    } else if (arg == "--out") {
+      options.out_file = next();
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 1, 1};
+  scenario.seed = options.seed;
+
+  const harness::TrainedSystem system = harness::load_or_train(
+      core::AgentProfile::kHighThroughput, scenario, sweep_training());
+
+  harness::ChaosConfig config;
+  config.scenario = scenario;
+  config.training = sweep_training();
+  config.decisions = options.decisions;
+  config.fault_seed = options.fault_seed;
+  config.max_reward_degradation = options.max_degradation;
+  config.points = harness::default_fault_points();
+
+  const harness::ChaosReport report = harness::run_chaos_sweep(system, config);
+  const std::string json = report.to_json();
+  if (options.out_file.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream out(options.out_file, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "chaos_sweep: cannot write %s\n",
+                   options.out_file.c_str());
+      return 2;
+    }
+    out << json;
+  }
+
+  if (!report.all_exactly_once()) {
+    std::fputs("chaos_sweep: FAIL — a control was lost or double-applied\n",
+               stderr);
+    return 1;
+  }
+  if (!report.all_bounded()) {
+    std::fputs("chaos_sweep: FAIL — reward degradation exceeded the bound\n",
+               stderr);
+    return 1;
+  }
+  return 0;
+}

@@ -18,6 +18,10 @@ artifacts. This lint bans the constructs that historically break it:
                      so they must be evaluation-count independent
   float-eq           ==/!= against a floating-point literal outside the
                      approved helpers (contracts::approx_equal)
+  fault-rng          in the fault-injection path (impairments/reliable/chaos
+                     sources) every Rng must be a named .fork("...") stream -
+                     an ad-hoc Rng(seed) there would share or reseed the
+                     simulation's streams and break chaos-run reproducibility
 
 A finding on a line carrying `// det-ok: <rule> (<reason>)` is suppressed;
 the marker documents why the construct is safe at that site (e.g. an
@@ -63,6 +67,12 @@ SIDE_EFFECT = re.compile(
 )
 
 UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+
+# Files that make up the fault-injection path; Rng use there must be a named
+# fork so chaos runs stay bit-reproducible and independent of other streams.
+FAULT_PATH_FILE = re.compile(r"(?:impairments|reliable|chaos)[^/\\]*$")
+FAULT_RNG = re.compile(r"\bRng\s*(?:\w+\s*)?[({]")
+FORKED = re.compile(r"\.fork\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -150,10 +160,21 @@ def allowed(raw_lines: list[str], lineno: int, rule: str) -> bool:
 RANGE_FOR = re.compile(r"for\s*\(\s*[^;:()]*?:\s*([\w.\->]+)\s*\)")
 
 
-def lint_text(raw: str, code: str, unordered_names: set[str]):
+def lint_text(raw: str, code: str, unordered_names: set[str],
+              fault_path: bool = False):
     """All findings for one stripped source `code` (raw kept for det-ok)."""
     raw_lines = raw.splitlines()
+    code_lines = code.splitlines()
     findings = []
+
+    if fault_path:
+        for match in FAULT_RNG.finditer(code):
+            lineno = line_of(code, match.start())
+            line = code_lines[lineno - 1] if lineno - 1 < len(code_lines) else ""
+            if FORKED.search(line):
+                continue  # Rng(seed).fork("name") on the same line
+            if not allowed(raw_lines, lineno, "fault-rng"):
+                findings.append((lineno, "fault-rng", match.group(0).strip()))
 
     for rule, pattern in RULES.items():
         for match in pattern.finditer(code):
@@ -204,11 +225,26 @@ def self_test() -> int:
     const char* doc = "std::rand() is banned";  // string literal, not code
     // comment mentioning srand( and time(nullptr) is fine
     """
+    fault_bad = """
+    common::Rng rng(seed);
+    auto draws = common::Rng{seed};
+    """
+    fault_good = """
+    rng_(common::Rng(seed).fork("impairments")),
+    common::Rng rng(seed);  // det-ok: fault-rng (seed derivation only)
+    common::Rng& stream = parent;
+    """
     bad_code = strip_comments_and_strings(bad)
     bad_findings = lint_text(bad, bad_code, declared_unordered_names(bad_code))
     good_code = strip_comments_and_strings(good)
     good_findings = lint_text(good, good_code,
                               declared_unordered_names(good_code))
+    fault_bad_code = strip_comments_and_strings(fault_bad)
+    fault_bad_findings = lint_text(fault_bad, fault_bad_code, set(),
+                                   fault_path=True)
+    fault_good_code = strip_comments_and_strings(fault_good)
+    fault_good_findings = lint_text(fault_good, fault_good_code, set(),
+                                    fault_path=True)
     expect_rules = {
         "banned-random", "wall-clock", "float-eq",
         "macro-side-effect", "unordered-iter",
@@ -216,6 +252,11 @@ def self_test() -> int:
     seen_rules = {rule for _, rule, _ in bad_findings}
     ok = expect_rules <= seen_rules and len(bad_findings) >= 8
     ok = ok and not good_findings
+    ok = ok and {rule for _, rule, _ in fault_bad_findings} == {"fault-rng"}
+    ok = ok and len(fault_bad_findings) == 2
+    ok = ok and not fault_good_findings
+    bad_findings = bad_findings + fault_bad_findings
+    good_findings = good_findings + fault_good_findings
     if not ok:
         print("self-test FAILED")
         print("  bad findings:", sorted(bad_findings))
@@ -258,8 +299,9 @@ def main() -> int:
 
     total = 0
     for path in files:
+        fault_path = bool(FAULT_PATH_FILE.search(path.name))
         for lineno, rule, snippet in lint_text(raws[path], stripped[path],
-                                               unordered_names):
+                                               unordered_names, fault_path):
             rel = path.relative_to(root)
             print(f"{rel}:{lineno}: [{rule}] {snippet}")
             total += 1
