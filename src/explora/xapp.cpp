@@ -24,6 +24,14 @@ ExploraXapp::ExploraXapp(Config config, oran::RmrRouter& router,
     reliable_.emplace(*config_.reliable, router, config_.name);
   }
   report_period_ = config_.expected_report_period;
+  telemetry::Scope scope("explora.xapp");
+  tm_indications_ = &scope.counter("indications");
+  tm_controls_seen_ = &scope.counter("controls_seen");
+  tm_controls_replaced_ = &scope.counter("controls_replaced");
+  tm_windows_finalized_ = &scope.counter("windows_finalized");
+  tm_reports_discarded_ = &scope.counter("reports_discarded");
+  tm_degraded_episodes_ = &scope.counter("degraded_episodes");
+  tm_degraded_ticks_ = &scope.span("degraded_ticks");
 }
 
 const ActionShield& ExploraXapp::shield() const {
@@ -70,6 +78,7 @@ void ExploraXapp::on_message(const oran::RicMessage& message) {
       // hop: overdue unACKed forwards are resent at window cadence.
       if (reliable_.has_value()) reliable_->on_tick();
       const netsim::KpiReport& report = message.kpm().report;
+      tm_indications_->add(1);
       observe_indication_timing(report);
       if (degraded_) {
         // Quarantine: count clean in-sequence reports, feed nothing to the
@@ -111,6 +120,7 @@ void ExploraXapp::on_message(const oran::RicMessage& message) {
         }
       }
       ++controls_seen_;
+      tm_controls_seen_->add(1);
       const netsim::SlicingControl proposed = ran_control.control;
 
       // Close the still-open window of the previous action (the agent may
@@ -161,7 +171,10 @@ void ExploraXapp::on_message(const oran::RicMessage& message) {
           replaced = replaced || outcome.replaced;
         }
       }
-      if (replaced) ++controls_replaced_;
+      if (replaced) {
+        ++controls_replaced_;
+        tm_controls_replaced_->add(1);
+      }
 
       // Node visits and temporal edges track genuinely enforced actions
       // even while degraded; only KPI attribution and transition windows
@@ -211,10 +224,13 @@ void ExploraXapp::enter_degraded(netsim::Tick detected_at,
   indications_missed_ += missed;
   clean_streak_ = 0;  // a gap while degraded restarts the quarantine
   reports_discarded_ += pending_window_.size();
+  tm_reports_discarded_->add(pending_window_.size());
   pending_window_.clear();  // never build transitions from a gapped window
   if (degraded_) return;
   degraded_ = true;
   ++degradation_events_;
+  tm_degraded_episodes_->add(1);
+  degraded_entered_at_ = detected_at;
   common::logf(common::LogLevel::kWarn, "explora-xapp",
                "KPM stream gap at tick {} (~{} indication(s) missed): "
                "entering degraded mode",
@@ -236,6 +252,7 @@ void ExploraXapp::enter_degraded(netsim::Tick detected_at,
 void ExploraXapp::exit_degraded(netsim::Tick detected_at) {
   degraded_ = false;
   clean_streak_ = 0;
+  tm_degraded_ticks_->record(detected_at - degraded_entered_at_);
   common::logf(common::LogLevel::kInfo, "explora-xapp",
                "KPM stream recovered at tick {}: leaving degraded mode",
                detected_at);
@@ -258,6 +275,7 @@ void ExploraXapp::finalize_decision_window() {
     steering_->push_measured_reward(reward_.from_window(pending_window_));
   }
   pending_window_.clear();
+  tm_windows_finalized_->add(1);
 }
 
 DistilledKnowledge ExploraXapp::explain(

@@ -176,6 +176,18 @@ class ExploraXapp final : public oran::RmrEndpoint,
   /// (sender, seq) of upstream controls already processed (apply-once).
   std::set<std::pair<std::string, std::uint64_t>> seen_upstream_seqs_;
   std::uint64_t duplicate_controls_ignored_ = 0;
+
+  // Telemetry (explora.xapp.*), bound at construction. degraded_ticks is
+  // a span over gNB ticks from gap detection to recovery, one record per
+  // degraded episode.
+  telemetry::Counter* tm_indications_;
+  telemetry::Counter* tm_controls_seen_;
+  telemetry::Counter* tm_controls_replaced_;
+  telemetry::Counter* tm_windows_finalized_;
+  telemetry::Counter* tm_reports_discarded_;
+  telemetry::Counter* tm_degraded_episodes_;
+  telemetry::SpanStat* tm_degraded_ticks_;
+  netsim::Tick degraded_entered_at_ = 0;
 };
 
 }  // namespace explora::core

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/contracts.hpp"
+#include "common/telemetry.hpp"
 #include "explora/xapp.hpp"
 #include "oran/drl_xapp.hpp"
 #include "oran/ric.hpp"
@@ -39,6 +40,14 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
 
   const std::size_t reports_per_decision = training.reports_per_decision;
   const core::RewardModel reward_model(core::weights_for(profile));
+
+  // Closed-loop telemetry (harness.experiment.*). The decision-period span
+  // is clocked by the registry's tick clock, which the gNB advances every
+  // TTI — so each record equals the simulated TTIs one decision spans.
+  telemetry::Scope tscope("harness.experiment");
+  tscope.counter("runs").add(1);
+  telemetry::SpanStat& decision_span = tscope.span("decision_period_ttis");
+  telemetry::Registry& tregistry = tscope.registry();
 
   oran::NearRtRic ric(netsim::make_gnb(scenario));
 
@@ -112,7 +121,10 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
     }
     // One decision period: M report windows, after which the DRL xApp has
     // emitted (and the route has enforced) the next control.
-    ric.run_windows(reports_per_decision);
+    {
+      telemetry::ScopedSpan span(decision_span, tregistry);
+      ric.run_windows(reports_per_decision);
+    }
     harvest_window_samples();
 
     // The reward of this window block credits the previous decision.

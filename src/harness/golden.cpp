@@ -1,0 +1,84 @@
+#include "harness/golden.hpp"
+
+#include "common/contracts.hpp"
+#include "common/telemetry.hpp"
+#include "harness/experiment.hpp"
+#include "harness/training.hpp"
+
+namespace explora::harness {
+namespace {
+
+// The tiny chaos-test configuration: small enough that a case runs in
+// well under a second, large enough that every instrumented subsystem
+// (scheduler, gNB KPIs, RMR, impairments, reliable delivery, E2
+// termination, both xApps, the harness decision span) records activity.
+netsim::ScenarioConfig golden_scenario() {
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 1, 1};
+  scenario.seed = 31;
+  return scenario;
+}
+
+TrainingConfig golden_training() {
+  TrainingConfig config;
+  config.collection_steps = 30;
+  config.autoencoder.epochs = 5;
+  config.ppo_iterations = 2;
+  config.steps_per_iteration = 32;
+  config.seed = 99;
+  return config;
+}
+
+// Trained once per process. Training runs against whatever registry is
+// active at first call; run_golden_trace opens its ScopedRegistry only
+// afterwards, so ml.* training metrics never leak into golden snapshots.
+const TrainedSystem& golden_system() {
+  static const TrainedSystem system =
+      train_system(core::AgentProfile::kHighThroughput, golden_scenario(),
+                   golden_training());
+  return system;
+}
+
+ExperimentOptions golden_options(std::string_view case_name) {
+  ExperimentOptions options;
+  options.decisions = 8;
+  options.deploy_explora = true;
+  // Reliable delivery on both control hops in every case, so ACK-latency
+  // spans and sent/acked counters appear in the baseline trace too (with
+  // zero retransmissions — the diff then shows exactly what faults add).
+  options.reliable = oran::ReliableControlSender::Config{
+      .ack_timeout_ticks = 1, .max_retries = 12, .backoff_factor = 1};
+  if (case_name == "baseline") return options;
+  EXPLORA_EXPECTS_MSG(case_name == "chaos_drop10",
+                      "unknown golden-trace case '{}'", case_name);
+  FaultInjectionOptions faults;
+  faults.control.drop = 0.10;
+  faults.ack.drop = 0.10;
+  options.faults = faults;
+  return options;
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& golden_trace_cases() {
+  static const std::vector<std::string_view> cases = {"baseline",
+                                                      "chaos_drop10"};
+  return cases;
+}
+
+std::string run_golden_trace(std::string_view case_name) {
+  const TrainedSystem& system = golden_system();
+  const ExperimentOptions options = golden_options(case_name);
+  // Fresh registry for the run itself: every pipeline component built by
+  // run_experiment binds its metrics here and dies before the snapshot.
+  telemetry::ScopedRegistry scope;
+  (void)run_experiment(system, golden_scenario(), options,
+                       golden_training());
+  return scope.registry().snapshot_json();
+}
+
+std::string golden_trace_filename(std::string_view case_name) {
+  return std::string(case_name) + ".json";
+}
+
+}  // namespace explora::harness

@@ -163,6 +163,11 @@ Mlp::Mlp(std::vector<std::size_t> layer_sizes, Activation hidden,
   for (std::size_t i = 0; i < layer_sizes.size(); ++i) {
     tape_[i].resize(layer_sizes[i], 0.0);
   }
+  telemetry::Scope scope("ml.mlp");
+  tm_forward_batches_ = &scope.counter("forward_batches");
+  tm_backward_calls_ = &scope.counter("backward_calls");
+  static constexpr std::int64_t kRowBounds[] = {1, 8, 32, 128, 512, 2048};
+  tm_batch_rows_ = &scope.histogram("forward_batch_rows", kRowBounds);
 }
 
 std::size_t Mlp::in_size() const noexcept { return layers_.front().in_size(); }
@@ -194,6 +199,8 @@ void Mlp::infer(std::span<const double> in, std::span<double> out) const {
 
 Matrix Mlp::forward_batch(const Matrix& in) const {
   EXPLORA_EXPECTS(in.cols() == in_size());
+  tm_forward_batches_->add(1);
+  tm_batch_rows_->observe(static_cast<std::int64_t>(in.rows()));
   Matrix current(in.rows(), layers_.front().out_size());
   layers_.front().forward_batch(in, current);
   for (std::size_t i = 1; i < layers_.size(); ++i) {
@@ -206,6 +213,7 @@ Matrix Mlp::forward_batch(const Matrix& in) const {
 
 Vector Mlp::backward(std::span<const double> grad_output) {
   EXPLORA_EXPECTS(grad_output.size() == out_size());
+  tm_backward_calls_->add(1);
   Vector grad_out(grad_output.begin(), grad_output.end());
   Vector grad_in;
   for (std::size_t i = layers_.size(); i-- > 0;) {

@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
+#include "common/telemetry.hpp"
 #include "ml/matrix.hpp"
 
 namespace explora::ml {
@@ -111,6 +112,13 @@ class Mlp {
   std::vector<DenseLayer> layers_;
   /// tape_[0] = input copy, tape_[i+1] = output of layer i.
   std::vector<Vector> tape_;
+
+  // Telemetry (ml.mlp.*), bound at construction; copies of an Mlp share
+  // the originals' metrics. Batched forwards run concurrently from pool
+  // workers, so the underlying metrics are atomics.
+  telemetry::Counter* tm_forward_batches_;
+  telemetry::Counter* tm_backward_calls_;
+  telemetry::Histogram* tm_batch_rows_;
 };
 
 /// Adam optimizer over pointers into one or more networks' parameters.

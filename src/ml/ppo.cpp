@@ -110,6 +110,14 @@ PpoAgent::PpoAgent(Config config, std::uint64_t seed)
       critic_({config_.state_dim, config_.hidden_dim, config_.hidden_dim, 1},
               Activation::kTanh, Activation::kLinear, init_rng_),
       shuffle_rng_(init_rng_.fork("shuffle")) {
+  telemetry::Scope scope("ml.ppo");
+  tm_updates_ = &scope.counter("updates");
+  tm_epochs_ = &scope.counter("epochs");
+  tm_minibatches_ = &scope.counter("minibatches");
+  static constexpr std::int64_t kStepBounds[] = {32, 64, 128, 256, 512, 1024};
+  tm_rollout_steps_ = &scope.histogram("rollout_steps", kStepBounds);
+  static constexpr std::int64_t kRowBounds[] = {8, 16, 32, 64, 128};
+  tm_minibatch_rows_ = &scope.histogram("minibatch_rows", kRowBounds);
   AdamOptimizer::Config opt;
   opt.learning_rate = config_.learning_rate;
   actor_opt_ = AdamOptimizer(opt);
@@ -223,15 +231,22 @@ double PpoAgent::update(const RolloutBuffer& buffer) {
   std::vector<std::size_t> order(steps.size());
   std::iota(order.begin(), order.end(), 0);
 
+  tm_updates_->add(1);
+  tm_rollout_steps_->observe(static_cast<std::int64_t>(steps.size()));
+
   double last_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < config_.update_epochs; ++epoch) {
     shuffle_rng_.shuffle(order);
+    tm_epochs_->add(1);
     last_epoch_loss = 0.0;
     std::size_t cursor = 0;
     while (cursor < order.size()) {
       const std::size_t batch_end =
           std::min(cursor + config_.minibatch_size, order.size());
       const double batch_n = static_cast<double>(batch_end - cursor);
+      tm_minibatches_->add(1);
+      tm_minibatch_rows_->observe(
+          static_cast<std::int64_t>(batch_end - cursor));
       actor_.zero_grad();
       critic_.zero_grad();
       double batch_loss = 0.0;

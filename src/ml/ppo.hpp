@@ -129,6 +129,13 @@ class PpoAgent final : public PolicyAgent {
   AdamOptimizer actor_opt_;
   AdamOptimizer critic_opt_;
   common::Rng shuffle_rng_;
+
+  // Telemetry (ml.ppo.*), bound at construction.
+  telemetry::Counter* tm_updates_;
+  telemetry::Counter* tm_epochs_;
+  telemetry::Counter* tm_minibatches_;
+  telemetry::Histogram* tm_rollout_steps_;
+  telemetry::Histogram* tm_minibatch_rows_;
 };
 
 }  // namespace explora::ml

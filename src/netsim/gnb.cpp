@@ -10,6 +10,22 @@ Gnb::Gnb(std::vector<std::unique_ptr<Ue>> ues, GnbConfig config)
     : ues_(std::move(ues)), config_(config) {
   EXPLORA_EXPECTS(!ues_.empty());
   EXPLORA_EXPECTS(config_.report_period_ttis > 0);
+  telemetry::Scope scope("netsim.gnb");
+  telemetry_ = &scope.registry();
+  ttis_ = &scope.counter("ttis");
+  report_windows_ = &scope.counter("report_windows");
+  controls_applied_ = &scope.counter("controls_applied");
+  static constexpr std::int64_t kCqiBounds[] = {3, 6, 9, 12, 15};
+  cqi_ = &scope.histogram("cqi", kCqiBounds);
+  // 87 bytes/PRB is the CQI-15 ceiling enforced in channel.cpp.
+  static constexpr std::int64_t kTbsBounds[] = {10, 20, 40, 60, 87};
+  tbs_bytes_per_prb_ = &scope.histogram("tbs_bytes_per_prb", kTbsBounds);
+  static constexpr std::int64_t kBufferBounds[] = {0,     1000,   4000,
+                                                   16000, 64000, 256000};
+  buffer_bytes_ = &scope.histogram("buffer_bytes", kBufferBounds);
+  cqi_local_ = telemetry::LocalHistogram(cqi_);
+  tbs_local_ = telemetry::LocalHistogram(tbs_bytes_per_prb_);
+  buffer_local_ = telemetry::LocalHistogram(buffer_bytes_);
   rebuild_slice_index();
   // Default control: even-ish split, round robin everywhere.
   SlicingControl initial;
@@ -18,6 +34,29 @@ Gnb::Gnb(std::vector<std::unique_ptr<Ue>> ues, GnbConfig config)
                         SchedulerPolicy::kRoundRobin,
                         SchedulerPolicy::kRoundRobin};
   apply_control(initial);
+}
+
+Gnb::~Gnb() { flush_telemetry(); }
+
+void Gnb::flush_telemetry() noexcept {
+  if constexpr (!telemetry::kCompiledIn) return;
+  // Schedulers also flush from their own destructors, so a mid-run policy
+  // swap in apply_control never loses the replaced scheduler's window.
+  for (auto& scheduler : schedulers_) {
+    if (scheduler != nullptr) scheduler->flush_telemetry();
+  }
+  cqi_local_.flush();
+  tbs_local_.flush();
+  buffer_local_.flush();
+  if (pending_ttis_ != 0) {
+    ttis_->add(pending_ttis_);
+    pending_ttis_ = 0;
+  }
+  if (pending_windows_ != 0) {
+    report_windows_->add(pending_windows_);
+    pending_windows_ = 0;
+  }
+  windows_since_flush_ = 0;
 }
 
 void Gnb::rebuild_slice_index() {
@@ -51,6 +90,7 @@ void Gnb::apply_control(const SlicingControl& control) {
     }
   }
   control_ = control;
+  controls_applied_->add(1);
 }
 
 void Gnb::run_tti() {
@@ -61,6 +101,12 @@ void Gnb::run_tti() {
     schedulers_[s]->schedule_tti(std::span<Ue*>(ues), control_.prbs[s]);
   }
   ++now_;
+  // Counted locally and folded into the ttis counter once per report
+  // window; gated like Counter::add so disabled stretches stay unrecorded.
+  if (telemetry::kCompiledIn && telemetry::enabled()) ++pending_ttis_;
+  // Advance the registry's tick clock: spans anywhere in the closed loop
+  // measure durations against the gNB's simulated time, never wall-clock.
+  telemetry_->set_now(now_);
 }
 
 KpiReport Gnb::run_report_window() {
@@ -81,8 +127,16 @@ KpiReport Gnb::run_report_window() {
           static_cast<double>(counters.tx_packets));
       slice_report.buffer_bytes.push_back(
           static_cast<double>(ue->buffer_bytes()));
+      cqi_local_.observe(static_cast<std::int64_t>(ue->channel().cqi()));
+      tbs_local_.observe(
+          static_cast<std::int64_t>(ue->channel().bytes_per_prb()));
+      buffer_local_.observe(static_cast<std::int64_t>(ue->buffer_bytes()));
     }
   }
+  if (telemetry::kCompiledIn && telemetry::enabled()) ++pending_windows_;
+  // Fold the window-local accumulators into the registry on a fixed
+  // deterministic cadence; the destructor drains whatever remains.
+  if (++windows_since_flush_ >= kTelemetryFlushWindows) flush_telemetry();
   return report;
 }
 

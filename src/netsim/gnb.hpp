@@ -26,6 +26,10 @@ class Gnb {
   /// @param config runtime parameters.
   Gnb(std::vector<std::unique_ptr<Ue>> ues, GnbConfig config = {});
 
+  /// Flushes any window-local telemetry still pending (see
+  /// flush_telemetry) so end-of-run snapshots are always complete.
+  ~Gnb();
+
   /// Applies a new slicing + scheduling control. PRBs must not exceed the
   /// carrier total; scheduler state is retained when the policy for a slice
   /// is unchanged (so PF averages survive pure-slicing updates).
@@ -63,7 +67,29 @@ class Gnb {
   GnbConfig config_;
   Tick now_ = 0;
 
+  // Telemetry (netsim.gnb.*), bound at construction. The gNB owns simulated
+  // time, so it also drives the registry's tick clock for ScopedSpan users.
+  // The closed loop records into plain window-local accumulators and folds
+  // them into the shared registry atomics only every kTelemetryFlushWindows
+  // report windows (plus on destruction), keeping the TTI loop — and the
+  // window harvest — free of atomic read-modify-writes.
+  static constexpr Tick kTelemetryFlushWindows = 8;
+  telemetry::Registry* telemetry_;
+  telemetry::Counter* ttis_;
+  telemetry::Counter* report_windows_;
+  telemetry::Counter* controls_applied_;
+  telemetry::Histogram* cqi_;
+  telemetry::Histogram* tbs_bytes_per_prb_;
+  telemetry::Histogram* buffer_bytes_;
+  telemetry::LocalHistogram cqi_local_;
+  telemetry::LocalHistogram tbs_local_;
+  telemetry::LocalHistogram buffer_local_;
+  std::uint64_t pending_ttis_ = 0;
+  std::uint64_t pending_windows_ = 0;
+  Tick windows_since_flush_ = 0;
+
   void rebuild_slice_index();
+  void flush_telemetry() noexcept;
 };
 
 }  // namespace explora::netsim

@@ -1,6 +1,7 @@
 #include "netsim/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -27,6 +28,71 @@ std::vector<Ue*> backlogged(std::span<Ue*> ues) {
 
 }  // namespace
 
+namespace {
+
+// Upper bound kTotalPrbs: a slice can at most be granted the whole carrier.
+constexpr std::int64_t kPrbBounds[] = {0, 5, 10, 20, 30, 40, kTotalPrbs};
+
+}  // namespace
+
+Scheduler::Scheduler() {
+  static_assert(std::size(kPrbBounds) + 1 == kPrbBucketCount);
+  telemetry::Scope scope("netsim.scheduler");
+  tti_runs_ = &scope.counter("tti_runs");
+  prb_granted_ = &scope.counter("prb_granted");
+  prb_unused_ = &scope.counter("prb_unused");
+  prb_per_tti_ = &scope.histogram("prb_per_tti", kPrbBounds);
+}
+
+Scheduler::~Scheduler() { flush_telemetry(); }
+
+void Scheduler::record_grants(std::uint32_t granted,
+                              std::uint32_t budget) noexcept {
+  // Plain-integer accumulation on the TTI hot path; flush_telemetry()
+  // folds it into the shared atomics once per report window. Gated like
+  // every other record call so runtime-disabled windows stay unrecorded.
+  if constexpr (!telemetry::kCompiledIn) {
+    (void)granted;
+    (void)budget;
+    return;
+  }
+  if (!telemetry::enabled()) return;
+  ++pending_.runs;
+  pending_.granted += granted;
+  pending_.unused += budget - granted;
+  ++pending_.grant_tally[granted];
+}
+
+void Scheduler::flush_telemetry() noexcept {
+  if constexpr (!telemetry::kCompiledIn) return;
+  if (pending_.runs == 0) return;
+  tti_runs_->add(pending_.runs);
+  prb_granted_->add(pending_.granted);
+  prb_unused_->add(pending_.unused);
+  // Derive the histogram fold from the grant tally: per-TTI values are
+  // bounded by the carrier, so the tally is exhaustive and sum/min/max
+  // reconstruct exactly what per-value observe() calls would have seen.
+  std::array<std::uint64_t, kPrbBucketCount> buckets{};
+  std::int64_t sum = 0;
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = std::numeric_limits<std::int64_t>::min();
+  std::size_t bucket = 0;
+  for (std::int64_t value = 0; value <= kTotalPrbs; ++value) {
+    const std::uint64_t hits =
+        pending_.grant_tally[static_cast<std::size_t>(value)];
+    while (bucket < std::size(kPrbBounds) && value > kPrbBounds[bucket]) {
+      ++bucket;
+    }
+    if (hits == 0) continue;
+    buckets[bucket] += hits;
+    sum += value * static_cast<std::int64_t>(hits);
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  prb_per_tti_->observe_batch(buckets, pending_.runs, sum, min, max);
+  pending_ = PendingGrants{};
+}
+
 std::unique_ptr<Scheduler> make_scheduler(SchedulerPolicy policy,
                                           double pf_alpha) {
   switch (policy) {
@@ -44,7 +110,10 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerPolicy policy,
 void RoundRobinScheduler::schedule_tti(std::span<Ue*> ues,
                                        std::uint32_t prb_budget) {
   auto active = backlogged(ues);
-  if (active.empty() || prb_budget == 0) return;
+  if (active.empty() || prb_budget == 0) {
+    record_grants(0, prb_budget);
+    return;
+  }
   // Rotate the starting user so the head position does not systematically
   // favour low UE ids when the budget is not a multiple of the user count.
   next_ %= active.size();
@@ -68,13 +137,17 @@ void RoundRobinScheduler::schedule_tti(std::span<Ue*> ues,
   EXPLORA_ENSURES_MSG(remaining <= prb_budget,
                       "RR served {} PRBs over a budget of {}",
                       prb_budget - remaining, prb_budget);
+  record_grants(prb_budget - remaining, prb_budget);
   next_ = (next_ + 1) % active.size();
 }
 
 void WaterfillingScheduler::schedule_tti(std::span<Ue*> ues,
                                          std::uint32_t prb_budget) {
   auto active = backlogged(ues);
-  if (active.empty() || prb_budget == 0) return;
+  if (active.empty() || prb_budget == 0) {
+    record_grants(0, prb_budget);
+    return;
+  }
   // Strongest channel first; ties broken by UE id for determinism.
   std::sort(active.begin(), active.end(), [](const Ue* a, const Ue* b) {
     if (a->channel().sinr_db() != b->channel().sinr_db()) {
@@ -93,6 +166,7 @@ void WaterfillingScheduler::schedule_tti(std::span<Ue*> ues,
   EXPLORA_ENSURES_MSG(remaining <= prb_budget,
                       "WF served {} PRBs over a budget of {}",
                       prb_budget - remaining, prb_budget);
+  record_grants(prb_budget - remaining, prb_budget);
 }
 
 ProportionalFairScheduler::ProportionalFairScheduler(double alpha)
@@ -104,6 +178,7 @@ void ProportionalFairScheduler::schedule_tti(std::span<Ue*> ues,
                                              std::uint32_t prb_budget) {
   auto active = backlogged(ues);
   std::vector<double> served_bits(active.size(), 0.0);
+  std::uint32_t granted = 0;
   if (!active.empty() && prb_budget > 0) {
     std::uint32_t remaining = prb_budget;
     while (remaining > 0) {
@@ -128,7 +203,9 @@ void ProportionalFairScheduler::schedule_tti(std::span<Ue*> ues,
     EXPLORA_ENSURES_MSG(remaining <= prb_budget,
                         "PF served {} PRBs over a budget of {}",
                         prb_budget - remaining, prb_budget);
+    granted = prb_budget - remaining;
   }
+  record_grants(granted, prb_budget);
   // EWMA update for every tracked user, including the unserved ones (their
   // average decays, raising future priority) — standard PF bookkeeping.
   for (std::size_t i = 0; i < active.size(); ++i) {

@@ -10,10 +10,12 @@
 //   throughput against long-run fairness.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
 
+#include "common/telemetry.hpp"
 #include "netsim/types.hpp"
 #include "netsim/ue.hpp"
 
@@ -23,13 +25,50 @@ namespace explora::netsim {
 /// slice) for the current TTI and serve their buffers.
 class Scheduler {
  public:
-  virtual ~Scheduler() = default;
+  Scheduler();
+  /// Flushes any pending grant telemetry so that replacing a scheduler
+  /// mid-run (policy change) never drops recorded TTIs.
+  virtual ~Scheduler();
 
   /// Runs one TTI. Implementations must serve at most `prb_budget` PRBs and
   /// only touch UEs with buffered data.
   virtual void schedule_tti(std::span<Ue*> ues, std::uint32_t prb_budget) = 0;
 
   [[nodiscard]] virtual SchedulerPolicy policy() const noexcept = 0;
+
+  /// Folds the locally-accumulated per-TTI grant telemetry into the bound
+  /// registry metrics. Schedulers run on the gNB's simulation thread, so
+  /// record_grants accumulates in plain integers (no atomics on the TTI
+  /// hot path) and the gNB flushes once per report window.
+  void flush_telemetry() noexcept;
+
+ protected:
+  /// Telemetry hook: every schedule_tti implementation reports how many of
+  /// its budgeted PRBs it actually granted this TTI.
+  void record_grants(std::uint32_t granted, std::uint32_t budget) noexcept;
+
+ private:
+  /// prb_per_tti bucket upper bounds (+1 implicit overflow bucket).
+  static constexpr std::size_t kPrbBucketCount = 8;
+
+  // Bound once per scheduler construction against the then-active registry
+  // (netsim.scheduler.* namespace).
+  telemetry::Counter* tti_runs_;
+  telemetry::Counter* prb_granted_;
+  telemetry::Counter* prb_unused_;
+  telemetry::Histogram* prb_per_tti_;
+
+  // Window-local accumulation, drained by flush_telemetry(). Grants are
+  // bounded by the carrier size, so the per-TTI record is one increment of
+  // a value-indexed tally; buckets, sum, min and max are all derived from
+  // the tally at flush time, off the hot path.
+  struct PendingGrants {
+    std::uint64_t runs = 0;
+    std::uint64_t granted = 0;
+    std::uint64_t unused = 0;
+    std::array<std::uint64_t, kTotalPrbs + 1> grant_tally{};
+  };
+  PendingGrants pending_{};
 };
 
 /// Factory keyed by policy; `pf_alpha` is the PF EWMA smoothing factor.

@@ -14,6 +14,9 @@ DrlXapp::DrlXapp(Config config, const ml::KpiNormalizer& normalizer,
       router_(&router),
       rng_(config_.seed) {
   EXPLORA_EXPECTS(config_.reports_per_decision > 0);
+  telemetry::Scope scope("oran.drl_xapp");
+  tm_indications_ = &scope.counter("indications");
+  tm_decisions_ = &scope.counter("decisions");
   if (config_.reliable.has_value()) {
     reliable_.emplace(*config_.reliable, router, config_.name);
   }
@@ -30,6 +33,7 @@ void DrlXapp::on_message(const RicMessage& message) {
   if (reliable_.has_value()) reliable_->on_tick();
   window_.push(message.kpm().report);
   ++indications_seen_;
+  tm_indications_->add(1);
   if (window_.ready() &&
       indications_seen_ % config_.reports_per_decision == 0) {
     decide();
@@ -48,6 +52,7 @@ void DrlXapp::decide() {
     last_decision_ = agent_->act_greedy(last_latent_);
   }
   ++decision_id_;
+  tm_decisions_->add(1);
   const netsim::SlicingControl control = ml::to_control(last_decision_->action);
   if (reliable_.has_value()) {
     reliable_->send(control, decision_id_);

@@ -99,6 +99,10 @@ class DrlXapp final : public RmrEndpoint {
   std::uint64_t decision_id_ = 0;
   ml::Vector last_latent_;
   std::optional<ml::PolicyDecision> last_decision_;
+
+  // Telemetry (oran.drl_xapp.*), bound at construction.
+  telemetry::Counter* tm_indications_;
+  telemetry::Counter* tm_decisions_;
 };
 
 }  // namespace explora::oran

@@ -6,7 +6,14 @@
 namespace explora::oran {
 
 E2Termination::E2Termination(netsim::Gnb& gnb, RmrRouter& router)
-    : gnb_(&gnb), router_(&router) {}
+    : gnb_(&gnb), router_(&router) {
+  telemetry::Scope scope("oran.e2term");
+  tm_controls_applied_ = &scope.counter("controls_applied");
+  tm_controls_rejected_ = &scope.counter("controls_rejected");
+  tm_duplicate_controls_ = &scope.counter("duplicate_controls");
+  tm_indications_ = &scope.counter("indications");
+  tm_control_loop_lag_ = &scope.span("control_loop_lag_ttis");
+}
 
 void E2Termination::on_message(const RicMessage& message) {
   if (message.type != MessageType::kRanControl) return;
@@ -14,6 +21,7 @@ void E2Termination::on_message(const RicMessage& message) {
 
   if (!netsim::is_valid_control(ran_control.control)) {
     ++controls_rejected_;
+    tm_controls_rejected_->add(1);
     common::logf(common::LogLevel::kWarn, "e2term",
                  "rejected malformed control {} from {} (decision {})",
                  ran_control.control.to_string(), message.sender,
@@ -29,6 +37,7 @@ void E2Termination::on_message(const RicMessage& message) {
       // A retransmission whose original made it through (the ACK was
       // lost): apply-once, but re-ACK so the sender stops resending.
       ++duplicate_controls_ignored_;
+      tm_duplicate_controls_->add(1);
       router_->send(make_ran_control_ack(std::string(endpoint_name()),
                                          ran_control.seq));
       return;
@@ -37,6 +46,13 @@ void E2Termination::on_message(const RicMessage& message) {
 
   gnb_->apply_control(ran_control.control);
   ++controls_applied_;
+  tm_controls_applied_->add(1);
+  if (last_indication_window_end_ >= 0) {
+    // KPM indication -> RIC control lag: gNB ticks elapsed between the end
+    // of the last published report window and this control landing. 0 in a
+    // healthy synchronous loop; grows under delay/drop impairments.
+    tm_control_loop_lag_->record(gnb_->now() - last_indication_window_end_);
+  }
   if (ran_control.seq > 0) {
     router_->send(make_ran_control_ack(std::string(endpoint_name()),
                                        ran_control.seq));
@@ -46,6 +62,8 @@ void E2Termination::on_message(const RicMessage& message) {
 void E2Termination::collect_and_publish() {
   netsim::KpiReport report = gnb_->run_report_window();
   ++indications_sent_;
+  tm_indications_->add(1);
+  last_indication_window_end_ = report.window_end;
   router_->send(
       make_kpm_indication(std::string(endpoint_name()), std::move(report)));
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "common/telemetry.hpp"
 #include "netsim/gnb.hpp"
 #include "oran/rmr.hpp"
 
@@ -59,6 +60,19 @@ class E2Termination final : public RmrEndpoint {
   /// (sender, seq) pairs already applied — the idempotency guard. seq 0
   /// (legacy unsequenced sends) is never recorded here.
   std::set<std::pair<std::string, std::uint64_t>> applied_seqs_;
+  /// window_end of the most recent published indication; -1 before the
+  /// first one. Basis for the control-loop-lag span.
+  netsim::Tick last_indication_window_end_ = -1;
+
+  // Telemetry (oran.e2term.*), bound at construction. control_loop_lag is
+  // a span over gNB ticks from the last KPM indication's window end to the
+  // moment the resulting control lands — the paper's KPM->control loop
+  // latency, in simulated TTIs.
+  telemetry::Counter* tm_controls_applied_;
+  telemetry::Counter* tm_controls_rejected_;
+  telemetry::Counter* tm_duplicate_controls_;
+  telemetry::Counter* tm_indications_;
+  telemetry::SpanStat* tm_control_loop_lag_;
 };
 
 }  // namespace explora::oran

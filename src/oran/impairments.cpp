@@ -13,7 +13,13 @@ namespace {
 }  // namespace
 
 LinkImpairments::LinkImpairments(std::uint64_t seed)
-    : rng_(common::Rng(seed).fork("impairments")) {}
+    : rng_(common::Rng(seed).fork("impairments")) {
+  telemetry::Scope scope("oran.impairments");
+  tm_dropped_ = &scope.counter("dropped");
+  tm_delayed_ = &scope.counter("delayed");
+  tm_duplicated_ = &scope.counter("duplicated");
+  tm_reordered_ = &scope.counter("reordered");
+}
 
 void LinkImpairments::set_policy(MessageType type, std::string target,
                                  Policy policy) {
@@ -47,18 +53,22 @@ LinkImpairments::Fate LinkImpairments::decide(MessageType type,
   const bool reorder = rng_.bernoulli(policy->reorder);
   if (drop) {
     ++dropped_[index];
+    tm_dropped_->add(1);
     return Fate::kDrop;
   }
   if (delay) {
     ++delayed_[index];
+    tm_delayed_->add(1);
     return Fate::kDelay;
   }
   if (duplicate) {
     ++duplicated_[index];
+    tm_duplicated_->add(1);
     return Fate::kDuplicate;
   }
   if (reorder) {
     ++reordered_[index];
+    tm_reordered_->add(1);
     return Fate::kReorder;
   }
   return Fate::kDeliver;

@@ -18,6 +18,7 @@
 #include <string_view>
 
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "oran/messages.hpp"
 
 namespace explora::oran {
@@ -95,6 +96,12 @@ class LinkImpairments {
 
   std::map<PolicyKey, Policy> policies_;
   common::Rng rng_;
+  // Telemetry (oran.impairments.*): the per-type arrays below feed the
+  // chaos report; these counters fold the same events into snapshots.
+  telemetry::Counter* tm_dropped_;
+  telemetry::Counter* tm_delayed_;
+  telemetry::Counter* tm_duplicated_;
+  telemetry::Counter* tm_reordered_;
   std::array<std::uint64_t, kNumMessageTypes> dropped_{};
   std::array<std::uint64_t, kNumMessageTypes> delayed_{};
   std::array<std::uint64_t, kNumMessageTypes> duplicated_{};

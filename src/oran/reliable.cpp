@@ -13,6 +13,12 @@ ReliableControlSender::ReliableControlSender(Config config, RmrRouter& router,
   EXPLORA_EXPECTS(config_.ack_timeout_ticks >= 1);
   EXPLORA_EXPECTS(config_.backoff_factor >= 1);
   EXPLORA_EXPECTS(!endpoint_.empty());
+  telemetry::Scope scope("oran.reliable");
+  tm_sent_ = &scope.counter("sent");
+  tm_acked_ = &scope.counter("acked");
+  tm_retransmissions_ = &scope.counter("retransmissions");
+  tm_expired_ = &scope.counter("expired");
+  tm_ack_latency_ = &scope.span("ack_latency_ticks");
 }
 
 std::uint64_t ReliableControlSender::send(netsim::SlicingControl control,
@@ -21,6 +27,7 @@ std::uint64_t ReliableControlSender::send(netsim::SlicingControl control,
   in_flight_.emplace(seq, InFlight{control, decision_id, 0,
                                    config_.ack_timeout_ticks, 0});
   ++sent_;
+  tm_sent_->add(1);
   // Dispatch is synchronous: a fault-free hop ACKs within this call and
   // on_ack() erases the entry before send() returns.
   router_->send(make_ran_control(endpoint_, control, decision_id, seq));
@@ -30,8 +37,10 @@ std::uint64_t ReliableControlSender::send(netsim::SlicingControl control,
 void ReliableControlSender::on_ack(std::uint64_t seq) {
   const auto it = in_flight_.find(seq);
   if (it == in_flight_.end()) return;  // expired or duplicate ACK
+  tm_ack_latency_->record(static_cast<std::int64_t>(it->second.total_ticks));
   in_flight_.erase(it);
   ++acked_;
+  tm_acked_->add(1);
 }
 
 void ReliableControlSender::on_tick() {
@@ -40,6 +49,7 @@ void ReliableControlSender::on_tick() {
   std::vector<std::uint64_t> overdue;
   std::vector<std::uint64_t> dead;
   for (auto& [seq, entry] : in_flight_) {
+    ++entry.total_ticks;
     if (++entry.ticks_waited < entry.timeout) continue;
     if (entry.retries >= config_.max_retries) {
       dead.push_back(seq);
@@ -57,11 +67,13 @@ void ReliableControlSender::on_tick() {
                  endpoint_, seq, it->second.decision_id, config_.max_retries);
     in_flight_.erase(it);
     ++expired_;
+    tm_expired_->add(1);
   }
   for (const std::uint64_t seq : overdue) {
     const auto it = in_flight_.find(seq);
     if (it == in_flight_.end()) continue;  // ACKed by an earlier resend
     ++retransmissions_;
+    tm_retransmissions_->add(1);
     router_->send(make_ran_control(endpoint_, it->second.control,
                                    it->second.decision_id, seq));
   }

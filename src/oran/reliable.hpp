@@ -14,6 +14,7 @@
 #include <map>
 #include <string>
 
+#include "common/telemetry.hpp"
 #include "netsim/types.hpp"
 #include "oran/rmr.hpp"
 
@@ -64,6 +65,7 @@ class ReliableControlSender {
     std::uint32_t ticks_waited = 0;
     std::uint32_t timeout = 0;
     std::uint32_t retries = 0;
+    std::uint32_t total_ticks = 0;  ///< ticks since first send (ACK latency)
   };
 
   Config config_;
@@ -75,6 +77,14 @@ class ReliableControlSender {
   std::uint64_t acked_ = 0;
   std::uint64_t retransmissions_ = 0;
   std::uint64_t expired_ = 0;
+
+  // Telemetry (oran.reliable.*), bound at construction. ack_latency is a
+  // span over report-window ticks from first transmission to ACK.
+  telemetry::Counter* tm_sent_;
+  telemetry::Counter* tm_acked_;
+  telemetry::Counter* tm_retransmissions_;
+  telemetry::Counter* tm_expired_;
+  telemetry::SpanStat* tm_ack_latency_;
 };
 
 }  // namespace explora::oran

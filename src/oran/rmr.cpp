@@ -8,6 +8,16 @@
 
 namespace explora::oran {
 
+RmrRouter::RmrRouter() {
+  telemetry::Scope scope("oran.rmr");
+  tm_rounds_ = &scope.counter("rounds");
+  tm_delivered_ = &scope.counter("delivered");
+  tm_dropped_unroutable_ = &scope.counter("dropped_unroutable");
+  static constexpr std::int64_t kDepthBounds[] = {1, 2, 4, 8, 16, 32};
+  tm_queue_depth_ = &scope.histogram("queue_depth", kDepthBounds);
+  tm_held_delayed_ = &scope.gauge("held_delayed");
+}
+
 void RmrRouter::register_endpoint(RmrEndpoint& endpoint) {
   const std::string name(endpoint.endpoint_name());
   EXPLORA_EXPECTS(!name.empty());
@@ -48,14 +58,18 @@ void RmrRouter::send(RicMessage message) {
   queue_.push_back(Envelope{std::move(message), std::nullopt});
   if (dispatching_) return;  // the active drain loop will pick it up
   ++round_;
+  tm_rounds_->add(1);
   release_due(round_);
+  tm_queue_depth_->observe(static_cast<std::int64_t>(queue_.size()));
   drain();
+  tm_held_delayed_->set(static_cast<std::int64_t>(held_.size()));
 }
 
 void RmrRouter::flush_delayed() {
   if (held_.empty()) return;
   release_due(std::numeric_limits<std::uint64_t>::max());
   if (!dispatching_) drain();
+  tm_held_delayed_->set(static_cast<std::int64_t>(held_.size()));
 }
 
 void RmrRouter::release_due(std::uint64_t up_to_round) {
@@ -85,6 +99,7 @@ void RmrRouter::drop_unroutable(const RicMessage& message,
                                 std::string_view reason) {
   ++dropped_;
   ++dropped_by_type_[static_cast<std::size_t>(message.type)];
+  tm_dropped_unroutable_->add(1);
   common::logf(common::LogLevel::kWarn, "rmr", "dropped {} from {} ({})",
                to_string(message.type), message.sender, reason);
 }
@@ -144,6 +159,7 @@ void RmrRouter::deliver(const RicMessage& message, const std::string& target) {
   const auto it = endpoints_.find(target);
   EXPLORA_ASSERT(it != endpoints_.end());
   ++delivery_counts_[target];
+  tm_delivered_->add(1);
   it->second->on_message(message);
 }
 

@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "oran/impairments.hpp"
 #include "oran/messages.hpp"
 
@@ -41,6 +42,8 @@ class RmrEndpoint {
 
 class RmrRouter {
  public:
+  RmrRouter();
+
   /// Registers an endpoint (non-owning; the endpoint must outlive the
   /// router's use). The endpoint name must be unique.
   void register_endpoint(RmrEndpoint& endpoint);
@@ -131,6 +134,13 @@ class RmrRouter {
   std::unique_ptr<LinkImpairments> impairments_;
   std::uint64_t round_ = 0;
   bool dispatching_ = false;
+
+  // Telemetry (oran.rmr.*), bound at construction.
+  telemetry::Counter* tm_rounds_;
+  telemetry::Counter* tm_delivered_;
+  telemetry::Counter* tm_dropped_unroutable_;
+  telemetry::Histogram* tm_queue_depth_;
+  telemetry::Gauge* tm_held_delayed_;
 };
 
 }  // namespace explora::oran

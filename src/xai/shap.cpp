@@ -74,6 +74,15 @@ ShapExplainer::ShapExplainer(BatchModelFn model, std::vector<Vector> background,
       config_(config) {
   EXPLORA_EXPECTS(model_ != nullptr);
   EXPLORA_EXPECTS(!background_.empty());
+  telemetry::Scope scope("xai.shap");
+  tm_explanations_ = &scope.counter("explanations");
+  tm_model_evals_ = &scope.counter("model_evals");
+  // 512 = 2^9: the exact-mode coalition count for the paper's 9 latent
+  // features; sampling mode typically lands in the overflow bucket.
+  static constexpr std::int64_t kCoalitionBounds[] = {16, 64, 128, 256, 512};
+  tm_coalitions_ = &scope.histogram("coalitions_per_explanation",
+                                    kCoalitionBounds);
+  tm_evals_per_explanation_ = &scope.span("evals_per_explanation");
   if (background_.size() > config_.max_background) {
     // Deterministic subsample: stride through the background.
     std::vector<Vector> reduced;
@@ -105,6 +114,7 @@ Vector ShapExplainer::coalition_value(const Vector& x,
   const std::vector<Vector> outputs = model_(probes);
   EXPLORA_ASSERT(outputs.size() == background_.size());
   evaluations_.fetch_add(background_.size(), std::memory_order_relaxed);
+  tm_model_evals_->add(background_.size());
 
   Vector accumulator = outputs.front();
   for (std::size_t b = 1; b < outputs.size(); ++b) {
@@ -122,6 +132,7 @@ Vector ShapExplainer::base_values() {
   const std::vector<Vector> outputs = model_(background_);
   EXPLORA_ASSERT(outputs.size() == background_.size());
   evaluations_.fetch_add(background_.size(), std::memory_order_relaxed);
+  tm_model_evals_->add(background_.size());
   Vector accumulator = outputs.front();
   for (std::size_t b = 1; b < outputs.size(); ++b) {
     for (std::size_t i = 0; i < accumulator.size(); ++i) {
@@ -249,6 +260,18 @@ Vector ShapExplainer::explain(const Vector& x, std::size_t output_index) {
 }
 
 std::vector<Vector> ShapExplainer::explain_all_outputs(const Vector& x) {
+  // Per-explanation cost accounting, computed analytically so it is exact
+  // under any thread count: coalitions evaluated and model evaluations
+  // (coalitions x background rows) for this one explanation.
+  const std::size_t num_features = x.size();
+  const std::size_t coalitions =
+      config_.mode == Mode::kExact
+          ? (std::size_t{1} << num_features)
+          : config_.permutations * (num_features + 1);
+  tm_explanations_->add(1);
+  tm_coalitions_->observe(static_cast<std::int64_t>(coalitions));
+  tm_evals_per_explanation_->record(
+      static_cast<std::int64_t>(coalitions * background_.size()));
   return config_.mode == Mode::kExact ? explain_exact(x)
                                       : explain_sampling(x);
 }

@@ -29,6 +29,7 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "ml/matrix.hpp"
 
 namespace explora::ml {
@@ -115,6 +116,16 @@ class ShapExplainer {
   std::vector<Vector> background_;
   Config config_;
   std::atomic<std::uint64_t> evaluations_ = 0;
+
+  // Telemetry (xai.shap.*), bound at construction. model_evals mirrors
+  // evaluations_ into snapshots (atomic adds from pool workers, so totals
+  // are thread-count independent); evals_per_explanation is the exact
+  // per-explanation cost the paper's Fig. 4 accounts (coalitions x
+  // background rows, computed analytically, not raced).
+  telemetry::Counter* tm_explanations_;
+  telemetry::Counter* tm_model_evals_;
+  telemetry::Histogram* tm_coalitions_;
+  telemetry::SpanStat* tm_evals_per_explanation_;
 };
 
 /// Factorials 0..31 as doubles (Shapley weight computation; covers the full

@@ -3,10 +3,14 @@
 // configurations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/rng.hpp"
+#include "common/telemetry.hpp"
 #include "explora/graph.hpp"
 #include "explora/reward.hpp"
 #include "harness/experiment.hpp"
@@ -244,6 +248,110 @@ TEST(Mobility, ScenarioPlumbsSpeedThrough) {
   for (int i = 0; i < 400; ++i) (void)gnb->run_report_window();  // 10 s
   EXPECT_NE(ue->channel().distance_m(), initial);
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry invariants under randomized recording streams.
+// ---------------------------------------------------------------------------
+
+class TelemetryFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TelemetryFuzzSweep, HistogramBucketsAlwaysSumToCount) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  common::Rng rng(GetParam());
+  static constexpr std::int64_t kBounds[] = {-50, 0, 10, 100, 1000};
+  telemetry::Histogram histogram{kBounds};
+  std::int64_t expected_sum = 0;
+  std::int64_t expected_min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t expected_max = std::numeric_limits<std::int64_t>::min();
+  const std::size_t observations = 200 + rng.index(800);
+  for (std::size_t i = 0; i < observations; ++i) {
+    const auto value =
+        static_cast<std::int64_t>(rng.uniform(-200.0, 2000.0));
+    histogram.observe(value);
+    expected_sum += value;
+    expected_min = std::min(expected_min, value);
+    expected_max = std::max(expected_max, value);
+  }
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= histogram.bounds().size(); ++i) {
+    bucket_total += histogram.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, histogram.count());
+  EXPECT_EQ(histogram.count(), observations);
+  EXPECT_EQ(histogram.sum(), expected_sum);
+  EXPECT_EQ(histogram.min(), expected_min);
+  EXPECT_EQ(histogram.max(), expected_max);
+}
+
+TEST_P(TelemetryFuzzSweep, SpanNestingStaysWellFormed) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  common::Rng rng(GetParam() ^ 0xbeef);
+  telemetry::Registry registry;
+  telemetry::SpanStat& stat = registry.span("fuzz.span");
+  std::int64_t clock = 0;
+  std::uint64_t opened = 0;
+  // Randomly-shaped recursive nesting: depth must track the open spans
+  // exactly and return to 0, and every span must record a non-negative
+  // duration under a monotonic clock.
+  auto nest = [&](auto&& self, int depth_budget) -> void {
+    telemetry::ScopedSpan span(stat, registry);
+    ++opened;
+    const int before = telemetry::ScopedSpan::depth();
+    EXPECT_GE(before, 1);
+    registry.set_now(++clock);
+    if (depth_budget > 0 && rng.bernoulli(0.6)) {
+      self(self, depth_budget - 1);
+    }
+    EXPECT_EQ(telemetry::ScopedSpan::depth(), before);
+  };
+  for (int i = 0; i < 50; ++i) nest(nest, static_cast<int>(rng.index(6)));
+  EXPECT_EQ(telemetry::ScopedSpan::depth(), 0);
+  EXPECT_EQ(stat.count(), opened);
+  EXPECT_GE(stat.min(), 0);
+  EXPECT_GE(stat.total(), stat.max());
+}
+
+TEST_P(TelemetryFuzzSweep, MergeIsOrderIndependent) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  common::Rng rng(GetParam() ^ 0xcafe);
+  static constexpr std::int64_t kBounds[] = {8, 64, 512};
+  // Three shards with overlapping and disjoint metric sets, randomly
+  // populated as if each had observed a slice of one run.
+  std::array<telemetry::Registry, 3> shards;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    telemetry::Registry& shard = shards[s];
+    shard.set_now(static_cast<std::int64_t>(rng.index(1000)));
+    shard.counter("shared.events").add(rng.index(100));
+    for (std::size_t i = 0; i < 40; ++i) {
+      shard.histogram("shared.values", kBounds)
+          .observe(static_cast<std::int64_t>(rng.index(1000)));
+      shard.span("shared.spans")
+          .record(static_cast<std::int64_t>(rng.index(64)));
+    }
+    shard.gauge("shard.peak").set(static_cast<std::int64_t>(rng.index(50)));
+    if (s != 1) shard.counter("sparse.only_some_shards").add(s + 1);
+  }
+  const telemetry::TelemetrySnapshot s0 = shards[0].snapshot();
+  const telemetry::TelemetrySnapshot s1 = shards[1].snapshot();
+  const telemetry::TelemetrySnapshot s2 = shards[2].snapshot();
+  // Commutative: a + b == b + a.
+  EXPECT_EQ(merge(s0, s1), merge(s1, s0));
+  // Associative: (a + b) + c == a + (b + c), and any fold order gives the
+  // same canonical JSON.
+  const telemetry::TelemetrySnapshot left = merge(merge(s0, s1), s2);
+  const telemetry::TelemetrySnapshot right = merge(s0, merge(s1, s2));
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left.to_json(), merge(merge(s2, s0), s1).to_json());
+  // Totals are conserved by the fold.
+  EXPECT_EQ(left.metrics.at("shared.events").count,
+            s0.metrics.at("shared.events").count +
+                s1.metrics.at("shared.events").count +
+                s2.metrics.at("shared.events").count);
+  EXPECT_EQ(left.metrics.at("shared.spans").count, 120u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TelemetryFuzzSweep,
+                         ::testing::Values(3u, 17u, 404u, 5150u));
 
 // ---------------------------------------------------------------------------
 // Experiment determinism across seeds (each seed reproducible, different

@@ -22,6 +22,13 @@ artifacts. This lint bans the constructs that historically break it:
                      sources) every Rng must be a named .fork("...") stream -
                      an ad-hoc Rng(seed) there would share or reseed the
                      simulation's streams and break chaos-run reproducibility
+  telemetry-clock    in the telemetry path (telemetry/golden/trace_diff
+                     sources) ANY chrono use is banned, steady_clock
+                     included - snapshots must be bit-identical across runs,
+                     so spans may only consume the registry's tick clock
+  telemetry-unordered  unordered containers anywhere in the telemetry path -
+                     snapshots serialise by iterating their containers, so
+                     even declaring one risks ordering leaking into goldens
 
 A finding on a line carrying `// det-ok: <rule> (<reason>)` is suppressed;
 the marker documents why the construct is safe at that site (e.g. an
@@ -37,7 +44,7 @@ import pathlib
 import re
 import sys
 
-SCAN_DIRS = ("src",)
+SCAN_DIRS = ("src", "tools")
 EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
 
 RULES = {
@@ -73,6 +80,18 @@ UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 FAULT_PATH_FILE = re.compile(r"(?:impairments|reliable|chaos)[^/\\]*$")
 FAULT_RNG = re.compile(r"\bRng\s*(?:\w+\s*)?[({]")
 FORKED = re.compile(r"\.fork\s*\(")
+
+# Files that make up the deterministic-telemetry path. Their snapshots are
+# committed as goldens and must be bit-identical across runs and thread
+# counts, so the whole path gets a stricter clock rule (no chrono at all,
+# steady_clock included) and a declaration-level unordered-container ban.
+TELEMETRY_PATH_FILE = re.compile(r"(?:telemetry|golden|trace_diff)[^/\\]*$")
+TELEMETRY_RULES = {
+    "telemetry-clock": re.compile(r"\bchrono\b|\bsteady_clock\b"),
+    "telemetry-unordered": re.compile(
+        r"\bunordered_(?:map|set|multimap|multiset)\b"
+    ),
+}
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -161,11 +180,18 @@ RANGE_FOR = re.compile(r"for\s*\(\s*[^;:()]*?:\s*([\w.\->]+)\s*\)")
 
 
 def lint_text(raw: str, code: str, unordered_names: set[str],
-              fault_path: bool = False):
+              fault_path: bool = False, telemetry_path: bool = False):
     """All findings for one stripped source `code` (raw kept for det-ok)."""
     raw_lines = raw.splitlines()
     code_lines = code.splitlines()
     findings = []
+
+    if telemetry_path:
+        for rule, pattern in TELEMETRY_RULES.items():
+            for match in pattern.finditer(code):
+                lineno = line_of(code, match.start())
+                if not allowed(raw_lines, lineno, rule):
+                    findings.append((lineno, rule, match.group(0).strip()))
 
     if fault_path:
         for match in FAULT_RNG.finditer(code):
@@ -234,6 +260,15 @@ def self_test() -> int:
     common::Rng rng(seed);  // det-ok: fault-rng (seed derivation only)
     common::Rng& stream = parent;
     """
+    telemetry_bad = """
+    auto t0 = std::chrono::steady_clock::now();
+    std::unordered_map<std::string, MetricSnapshot> metrics;
+    """
+    telemetry_good = """
+    std::map<std::string, MetricSnapshot, std::less<>> metrics;
+    registry.set_now(now_);
+    // comment naming steady_clock is fine
+    """
     bad_code = strip_comments_and_strings(bad)
     bad_findings = lint_text(bad, bad_code, declared_unordered_names(bad_code))
     good_code = strip_comments_and_strings(good)
@@ -245,6 +280,12 @@ def self_test() -> int:
     fault_good_code = strip_comments_and_strings(fault_good)
     fault_good_findings = lint_text(fault_good, fault_good_code, set(),
                                     fault_path=True)
+    telemetry_bad_code = strip_comments_and_strings(telemetry_bad)
+    telemetry_bad_findings = lint_text(telemetry_bad, telemetry_bad_code,
+                                       set(), telemetry_path=True)
+    telemetry_good_code = strip_comments_and_strings(telemetry_good)
+    telemetry_good_findings = lint_text(telemetry_good, telemetry_good_code,
+                                        set(), telemetry_path=True)
     expect_rules = {
         "banned-random", "wall-clock", "float-eq",
         "macro-side-effect", "unordered-iter",
@@ -255,8 +296,12 @@ def self_test() -> int:
     ok = ok and {rule for _, rule, _ in fault_bad_findings} == {"fault-rng"}
     ok = ok and len(fault_bad_findings) == 2
     ok = ok and not fault_good_findings
-    bad_findings = bad_findings + fault_bad_findings
-    good_findings = good_findings + fault_good_findings
+    telemetry_rules = {rule for _, rule, _ in telemetry_bad_findings}
+    ok = ok and telemetry_rules == {"telemetry-clock", "telemetry-unordered"}
+    ok = ok and not telemetry_good_findings
+    bad_findings = bad_findings + fault_bad_findings + telemetry_bad_findings
+    good_findings = (good_findings + fault_good_findings
+                     + telemetry_good_findings)
     if not ok:
         print("self-test FAILED")
         print("  bad findings:", sorted(bad_findings))
@@ -300,8 +345,10 @@ def main() -> int:
     total = 0
     for path in files:
         fault_path = bool(FAULT_PATH_FILE.search(path.name))
+        telemetry_path = bool(TELEMETRY_PATH_FILE.search(path.name))
         for lineno, rule, snippet in lint_text(raws[path], stripped[path],
-                                               unordered_names, fault_path):
+                                               unordered_names, fault_path,
+                                               telemetry_path):
             rel = path.relative_to(root)
             print(f"{rel}:{lineno}: [{rule}] {snippet}")
             total += 1

@@ -1,0 +1,212 @@
+// Golden-trace diff tool: re-runs the canonical closed-loop cases
+// (harness/golden) and structurally compares their telemetry snapshots
+// against the JSON documents committed under tests/golden/.
+//
+//   trace_diff                 diff every case, report per-metric deltas
+//   trace_diff --case NAME     diff a single case
+//   trace_diff --update        regenerate the committed goldens in place
+//   trace_diff --golden-dir D  override the golden directory
+//                              (default: EXPLORA_GOLDEN_DIR, baked in at
+//                              configure time)
+//
+// Exit codes: 0 = all cases match, 1 = at least one difference or missing
+// golden, 2 = usage or I/O error. Registered as the `golden_trace_diff`
+// CTest test, so `ctest` alone catches telemetry regressions.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/telemetry.hpp"
+#include "harness/golden.hpp"
+
+#ifndef EXPLORA_GOLDEN_DIR
+#define EXPLORA_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+// One parsed snapshot: the header fields plus metric-name -> JSON body.
+// The telemetry JSON is canonical (one metric per line, sorted names),
+// so a line parser is a faithful structural reader of it.
+struct ParsedTrace {
+  std::string schema;
+  std::string now;
+  std::map<std::string, std::string> metrics;
+};
+
+std::string strip_trailing_comma(std::string s) {
+  if (!s.empty() && s.back() == ',') s.pop_back();
+  return s;
+}
+
+// Extracts `"key": value` from a trimmed line; returns false when the
+// line is not a key/value line (braces, brackets).
+bool parse_key_value(std::string_view line, std::string& key,
+                     std::string& value) {
+  if (line.empty() || line.front() != '"') return false;
+  const std::size_t close = line.find('"', 1);
+  if (close == std::string_view::npos) return false;
+  key.assign(line.substr(1, close - 1));
+  std::size_t colon = line.find(':', close);
+  if (colon == std::string_view::npos) return false;
+  std::size_t start = line.find_first_not_of(' ', colon + 1);
+  if (start == std::string_view::npos) return false;
+  value = strip_trailing_comma(std::string(line.substr(start)));
+  return true;
+}
+
+ParsedTrace parse_trace(const std::string& json) {
+  ParsedTrace trace;
+  std::istringstream stream(json);
+  std::string line;
+  bool in_metrics = false;
+  while (std::getline(stream, line)) {
+    const std::size_t begin = line.find_first_not_of(' ');
+    if (begin == std::string::npos) continue;
+    const std::string_view trimmed =
+        std::string_view(line).substr(begin);
+    std::string key;
+    std::string value;
+    if (!parse_key_value(trimmed, key, value)) continue;
+    if (key == "schema") {
+      trace.schema = value;
+    } else if (key == "now") {
+      trace.now = value;
+    } else if (key == "metrics") {
+      in_metrics = true;
+    } else if (in_metrics) {
+      trace.metrics.emplace(key, value);
+    }
+  }
+  return trace;
+}
+
+bool read_file(const std::filesystem::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Structural comparison; prints one line per differing metric.
+/// Returns true when the traces match.
+bool diff_traces(std::string_view case_name, const ParsedTrace& golden,
+                 const ParsedTrace& run) {
+  bool same = true;
+  auto report = [&](const char* tag, const std::string& detail) {
+    if (same) {
+      std::printf("trace_diff: case '%.*s' differs from its golden\n",
+                  static_cast<int>(case_name.size()), case_name.data());
+      same = false;
+    }
+    std::printf("  %s %s\n", tag, detail.c_str());
+  };
+  if (golden.schema != run.schema) {
+    report("~", "schema: golden " + golden.schema + ", run " + run.schema);
+  }
+  if (golden.now != run.now) {
+    report("~", "now: golden " + golden.now + ", run " + run.now);
+  }
+  for (const auto& [name, body] : golden.metrics) {
+    const auto it = run.metrics.find(name);
+    if (it == run.metrics.end()) {
+      report("-", name + " (only in golden): " + body);
+    } else if (it->second != body) {
+      report("~", name + ": golden " + body + ", run " + it->second);
+    }
+  }
+  for (const auto& [name, body] : run.metrics) {
+    if (golden.metrics.find(name) == golden.metrics.end()) {
+      report("+", name + " (only in run): " + body);
+    }
+  }
+  return same;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!explora::telemetry::kCompiledIn) {
+    std::printf(
+        "trace_diff: telemetry compiled out (EXPLORA_TELEMETRY=OFF); "
+        "nothing to diff\n");
+    return 0;
+  }
+  std::filesystem::path golden_dir = EXPLORA_GOLDEN_DIR;
+  bool update = false;
+  std::string only_case;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--update") {
+      update = true;
+    } else if (arg == "--case" && i + 1 < argc) {
+      only_case = argv[++i];
+    } else if (arg == "--golden-dir" && i + 1 < argc) {
+      golden_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: trace_diff [--update] [--case NAME] "
+                   "[--golden-dir DIR]\n");
+      return 2;
+    }
+  }
+
+  bool all_match = true;
+  bool case_seen = only_case.empty();
+  for (const std::string_view case_name :
+       explora::harness::golden_trace_cases()) {
+    if (!only_case.empty() && case_name != only_case) continue;
+    case_seen = true;
+    const std::string run_json =
+        explora::harness::run_golden_trace(case_name);
+    const std::filesystem::path golden_path =
+        golden_dir / explora::harness::golden_trace_filename(case_name);
+
+    if (update) {
+      std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "trace_diff: cannot write %s\n",
+                     golden_path.string().c_str());
+        return 2;
+      }
+      out << run_json;
+      std::printf("trace_diff: updated %s\n", golden_path.string().c_str());
+      continue;
+    }
+
+    std::string golden_json;
+    if (!read_file(golden_path, golden_json)) {
+      std::fprintf(stderr,
+                   "trace_diff: missing golden %s "
+                   "(run `trace_diff --update` to create it)\n",
+                   golden_path.string().c_str());
+      all_match = false;
+      continue;
+    }
+    if (diff_traces(case_name, parse_trace(golden_json),
+                    parse_trace(run_json))) {
+      std::printf("trace_diff: case '%.*s' matches its golden\n",
+                  static_cast<int>(case_name.size()), case_name.data());
+    } else {
+      all_match = false;
+    }
+  }
+  if (!case_seen) {
+    std::fprintf(stderr, "trace_diff: unknown case '%s'\n",
+                 only_case.c_str());
+    return 2;
+  }
+  if (!all_match) {
+    std::printf(
+        "trace_diff: goldens are stale; if the change is intended, "
+        "regenerate with `trace_diff --update` and commit the result\n");
+  }
+  return all_match ? 0 : 1;
+}
