@@ -40,6 +40,7 @@
 #include <cstdlib>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/format.hpp"
@@ -96,34 +97,6 @@ inline ContractHandler set_contract_handler(ContractHandler handler) noexcept {
   return detail::g_handler.load(std::memory_order_acquire);
 }
 
-/// RAII runtime-level override (tests raise to audit, benches drop to off).
-class ScopedCheckLevel {
- public:
-  explicit ScopedCheckLevel(CheckLevel level) noexcept
-      : previous_(check_level()) {
-    set_check_level(level);
-  }
-  ~ScopedCheckLevel() { set_check_level(previous_); }
-  ScopedCheckLevel(const ScopedCheckLevel&) = delete;
-  ScopedCheckLevel& operator=(const ScopedCheckLevel&) = delete;
-
- private:
-  CheckLevel previous_;
-};
-
-/// RAII handler override.
-class ScopedContractHandler {
- public:
-  explicit ScopedContractHandler(ContractHandler handler) noexcept
-      : previous_(set_contract_handler(handler)) {}
-  ~ScopedContractHandler() { set_contract_handler(previous_); }
-  ScopedContractHandler(const ScopedContractHandler&) = delete;
-  ScopedContractHandler& operator=(const ScopedContractHandler&) = delete;
-
- private:
-  ContractHandler previous_;
-};
-
 /// Dispatches a violation to the installed handler; aborts if the handler
 /// declines to throw (or none is installed). [[noreturn]] is honest: the
 /// only non-aborting exit is an exception.
@@ -140,6 +113,89 @@ class ScopedContractHandler {
                violation.message.c_str());
   std::abort();
 }
+
+/// Best-effort misuse detector for process-global override slots (the
+/// runtime check level, the failure handler, telemetry's active registry).
+/// The slots themselves stay lock-free atomics/pointers that any thread
+/// may *read*; what is not supported is two threads *installing* scoped
+/// overrides concurrently — the restores would interleave and resurrect a
+/// stale value. Each slot owns one SingleThreadScope; enter() fires a
+/// fast-tier contract when a scope opens on a second thread while another
+/// thread's scope is active (nested scopes on one thread stay fine).
+class SingleThreadScope {
+ public:
+  /// @param what guard name used in the violation message.
+  /// May throw through a test-installed contract handler.
+  void enter(const char* what) {
+    if (active_.load(std::memory_order_acquire) > 0 &&
+        owner_.load(std::memory_order_acquire) !=
+            std::this_thread::get_id() &&
+        check_level() >= CheckLevel::kFast) {
+      contract_failure(
+          "precondition", "scoped overrides install from a single thread",
+          __FILE__, __LINE__,
+          common::format("{} opened on a second thread while another "
+                         "thread's scope is active",
+                         what));
+    }
+    if (active_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+      owner_.store(std::this_thread::get_id(), std::memory_order_release);
+    }
+  }
+  void exit() noexcept { active_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int> active_{0};
+  std::atomic<std::thread::id> owner_{};
+};
+
+namespace detail {
+
+inline SingleThreadScope g_check_level_scope;
+inline SingleThreadScope g_handler_scope;
+
+}  // namespace detail
+
+/// RAII runtime-level override (tests raise to audit, benches drop to
+/// off). Install from one thread at a time — worker threads may read the
+/// level concurrently, but a second installing thread is a fast-tier
+/// contract violation (see SingleThreadScope), so the constructor is not
+/// noexcept.
+class ScopedCheckLevel {
+ public:
+  explicit ScopedCheckLevel(CheckLevel level) : previous_(check_level()) {
+    detail::g_check_level_scope.enter("ScopedCheckLevel");
+    set_check_level(level);
+  }
+  ~ScopedCheckLevel() {
+    set_check_level(previous_);
+    detail::g_check_level_scope.exit();
+  }
+  ScopedCheckLevel(const ScopedCheckLevel&) = delete;
+  ScopedCheckLevel& operator=(const ScopedCheckLevel&) = delete;
+
+ private:
+  CheckLevel previous_;
+};
+
+/// RAII handler override. Same single-installing-thread rule as
+/// ScopedCheckLevel.
+class ScopedContractHandler {
+ public:
+  explicit ScopedContractHandler(ContractHandler handler) {
+    detail::g_handler_scope.enter("ScopedContractHandler");
+    previous_ = set_contract_handler(handler);
+  }
+  ~ScopedContractHandler() {
+    set_contract_handler(previous_);
+    detail::g_handler_scope.exit();
+  }
+  ScopedContractHandler(const ScopedContractHandler&) = delete;
+  ScopedContractHandler& operator=(const ScopedContractHandler&) = delete;
+
+ private:
+  ContractHandler previous_ = nullptr;
+};
 
 // ---- approved numeric helpers ---------------------------------------------
 // These are the blessed homes for floating-point comparison; raw float ==

@@ -1,0 +1,229 @@
+#include "common/lockorder.hpp"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/format.hpp"
+#include "common/telemetry.hpp"
+
+namespace explora::common::lockorder {
+
+/// Registration record for one lock class. Lives forever (the registry
+/// below is leaked on purpose), so MutexInfo* handles never dangle — even
+/// in static-destruction order corner cases.
+struct MutexInfo {
+  MutexInfo(std::string name_in, int rank_in)
+      : name(std::move(name_in)), rank(rank_in) {}
+
+  const std::string name;
+  const int rank;
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<std::uint64_t> contended{0};
+  std::atomic<std::uint64_t> wait_rounds{0};
+};
+
+namespace {
+
+/// Lock classes by name. The map's own mutex sits *below* the annotated
+/// layer, so it must be a raw std::mutex — registration happens at mutex
+/// construction time and never while an annotated lock is being acquired.
+struct ClassRegistry {
+  std::mutex mutex;  // conc-ok: raw-mutex (the validator's own registry)
+  std::map<std::string, std::unique_ptr<MutexInfo>, std::less<>> classes;
+};
+
+ClassRegistry& class_registry() {
+  // Leaked: annotated mutexes with static storage duration may be
+  // destroyed (and thus unregistered-from) after any static registry
+  // would have been torn down.
+  static ClassRegistry* registry = new ClassRegistry();
+  return *registry;
+}
+
+/// The locks the current thread holds, in acquisition order. Only touched
+/// by audit-path hooks; the inline t_tracked_depth mirror stays equal to
+/// this stack's size.
+thread_local std::vector<const MutexInfo*> t_held;
+
+/// Fires the contracts handler for an ordering violation. Runs before the
+/// native mutex is touched, so a throwing handler unwinds without leaving
+/// this thread blocked or the lock held.
+void ordering_violation(const MutexInfo& incoming, const MutexInfo& held) {
+  if (&incoming == &held || incoming.name == held.name) {
+    contracts::contract_failure(
+        "lock-order", "no re-entrant acquisition", __FILE__, __LINE__,
+        format("mutex '{}' (rank {}) acquired while already held by this "
+               "thread",
+               incoming.name, incoming.rank));
+  }
+  contracts::contract_failure(
+      "lock-order", "ranks strictly increase", __FILE__, __LINE__,
+      format("acquiring '{}' (rank {}) while holding '{}' (rank {})",
+             incoming.name, incoming.rank, held.name, held.rank));
+}
+
+/// Rank discipline: `info` must outrank everything this thread holds.
+void validate_rank(const MutexInfo& info) {
+  const MutexInfo* worst = nullptr;
+  for (const MutexInfo* held : t_held) {
+    if (held == &info || held->name == info.name ||
+        held->rank >= info.rank) {
+      if (worst == nullptr || held->rank >= worst->rank) worst = held;
+    }
+  }
+  if (worst != nullptr) ordering_violation(info, *worst);
+}
+
+void push_held(const MutexInfo* info) {
+  t_held.push_back(info);
+  ++detail::t_tracked_depth;
+}
+
+/// Acquires `native` via try-then-yield so contention is observable
+/// without wall-clock timers: one "round" is one failed try_lock.
+template <typename NativeMutex, typename TryFn, typename LockFn>
+void acquire_counted(MutexInfo& info, NativeMutex& native, TryFn try_fn,
+                     LockFn lock_fn) {
+  constexpr std::uint64_t kMaxSpinRounds = 256;
+  if (!try_fn(native)) {
+    std::uint64_t rounds = 1;
+    for (;;) {
+      if (rounds >= kMaxSpinRounds) {
+        lock_fn(native);  // give up spinning; block natively
+        break;
+      }
+      std::this_thread::yield();
+      if (try_fn(native)) break;
+      ++rounds;
+    }
+    info.contended.fetch_add(1, std::memory_order_relaxed);
+    info.wait_rounds.fetch_add(rounds, std::memory_order_relaxed);
+  }
+  info.acquisitions.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+MutexInfo* register_mutex(const char* name, int rank) {
+  EXPLORA_EXPECTS_MSG(name != nullptr && *name != '\0',
+                      "annotated mutexes must be named");
+  ClassRegistry& registry = class_registry();
+  std::lock_guard<std::mutex> lock(  // conc-ok: raw-mutex (validator registry)
+      registry.mutex);
+  auto it = registry.classes.find(name);
+  if (it == registry.classes.end()) {
+    it = registry.classes
+             .emplace(name, std::make_unique<MutexInfo>(name, rank))
+             .first;
+    return it->second.get();
+  }
+  EXPLORA_EXPECTS_MSG(it->second->rank == rank,
+                      "lock class '{}' registered with rank {} but also {}",
+                      it->second->name, it->second->rank, rank);
+  return it->second.get();
+}
+
+void lock_audited(MutexInfo* info, std::mutex& native) {
+  if (info == nullptr) {
+    native.lock();
+    return;
+  }
+  validate_rank(*info);
+  acquire_counted(*info, native,
+                  [](std::mutex& m) { return m.try_lock(); },
+                  [](std::mutex& m) { m.lock(); });
+  push_held(info);
+}
+
+void lock_audited(MutexInfo* info, std::shared_mutex& native) {
+  if (info == nullptr) {
+    native.lock();
+    return;
+  }
+  validate_rank(*info);
+  acquire_counted(*info, native,
+                  [](std::shared_mutex& m) { return m.try_lock(); },
+                  [](std::shared_mutex& m) { m.lock(); });
+  push_held(info);
+}
+
+void lock_shared_audited(MutexInfo* info, std::shared_mutex& native) {
+  if (info == nullptr) {
+    native.lock_shared();
+    return;
+  }
+  validate_rank(*info);
+  acquire_counted(*info, native,
+                  [](std::shared_mutex& m) { return m.try_lock_shared(); },
+                  [](std::shared_mutex& m) { m.lock_shared(); });
+  push_held(info);
+}
+
+bool try_lock_audited(MutexInfo* info, std::mutex& native) {
+  if (!native.try_lock()) return false;
+  if (info != nullptr) {
+    info->acquisitions.fetch_add(1, std::memory_order_relaxed);
+    push_held(info);
+  }
+  return true;
+}
+
+void release_tracked(const MutexInfo* info) noexcept {
+  if (info == nullptr || t_held.empty()) return;
+  // Scan newest-first: releases almost always match the innermost hold.
+  for (std::size_t i = t_held.size(); i-- > 0;) {
+    if (t_held[i] == info) {
+      t_held.erase(t_held.begin() + static_cast<std::ptrdiff_t>(i));
+      --detail::t_tracked_depth;
+      return;
+    }
+  }
+  // Absent: the lock predates audit activation. Nothing to untrack.
+}
+
+std::vector<MutexStats> stats() {
+  ClassRegistry& registry = class_registry();
+  std::lock_guard<std::mutex> lock(  // conc-ok: raw-mutex (validator registry)
+      registry.mutex);
+  std::vector<MutexStats> out;
+  out.reserve(registry.classes.size());
+  for (const auto& [name, info] : registry.classes) {
+    MutexStats row;
+    row.name = name;
+    row.rank = info->rank;
+    row.acquisitions = info->acquisitions.load(std::memory_order_relaxed);
+    row.contended = info->contended.load(std::memory_order_relaxed);
+    row.wait_rounds = info->wait_rounds.load(std::memory_order_relaxed);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+void reset_stats() {
+  ClassRegistry& registry = class_registry();
+  std::lock_guard<std::mutex> lock(  // conc-ok: raw-mutex (validator registry)
+      registry.mutex);
+  for (const auto& [name, info] : registry.classes) {
+    info->acquisitions.store(0, std::memory_order_relaxed);
+    info->contended.store(0, std::memory_order_relaxed);
+    info->wait_rounds.store(0, std::memory_order_relaxed);
+  }
+}
+
+void publish(telemetry::Registry& registry) {
+  for (const MutexStats& row : stats()) {
+    const std::string prefix = "lockorder." + row.name + ".";
+    registry.gauge(prefix + "rank").set(row.rank);
+    registry.gauge(prefix + "acquisitions")
+        .set(static_cast<std::int64_t>(row.acquisitions));
+    registry.gauge(prefix + "contended")
+        .set(static_cast<std::int64_t>(row.contended));
+    registry.gauge(prefix + "wait_rounds")
+        .set(static_cast<std::int64_t>(row.wait_rounds));
+  }
+}
+
+}  // namespace explora::common::lockorder

@@ -1,0 +1,149 @@
+// Dynamic lock-order (rank) validation — the runtime complement of the
+// static thread-safety analysis in common/thread_annotations.hpp.
+//
+// Every common::Mutex / common::SharedMutex carries a name and a rank from
+// the global table in explora::common::lockrank (the table itself is
+// documented in DESIGN.md §9). At audit check level the validator keeps a
+// per-thread stack of held locks and enforces, *before* the native mutex
+// is touched:
+//
+//   - strictly increasing ranks: a thread may only acquire a mutex whose
+//     rank is greater than every rank it already holds;
+//   - no re-entrancy: acquiring a lock class this thread already holds is
+//     a violation (covers both the same object and same-name objects).
+//
+// A violation fires the contracts failure handler (kind "lock-order") with
+// both lock names before blocking on the native mutex, so a throwing test
+// handler unwinds cleanly instead of deadlocking.
+//
+// Cost model (mirrors contracts.hpp):
+//   EXPLORA_CHECK_LEVEL=off   kCompiledIn is false and every hook in
+//                             Mutex/SharedMutex folds away — the lock and
+//                             unlock paths are plain std::mutex calls;
+//   fast (runtime default)    one relaxed atomic load per lock and one
+//                             thread-local read per unlock;
+//   audit                     full rank validation plus acquisition and
+//                             contention accounting.
+//
+// Determinism: a verdict depends only on the actual nesting of locks on
+// the acquiring thread, never on cross-thread timing. Counters are relaxed
+// atomics and reach telemetry only through an explicit publish() call —
+// harness snapshot paths never see them, so committed golden traces are
+// unaffected by audit runs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>         // conc-ok: raw-mutex (validator plumbing layer)
+#include <shared_mutex>  // conc-ok: raw-mutex (validator plumbing layer)
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace explora::telemetry {
+class Registry;
+}  // namespace explora::telemetry
+
+namespace explora::common::lockrank {
+
+// The global lock-rank table. Acquisition order must follow strictly
+// increasing ranks; gaps are deliberate so new subsystems can slot in
+// without renumbering. Keep this list in sync with DESIGN.md §9.
+inline constexpr int kShapBaseCache = 10;      ///< xai: SHAP base-value cache
+inline constexpr int kPoolQueue = 20;          ///< common: ThreadPool task queue
+inline constexpr int kPoolJob = 30;            ///< common: per-parallel_for job
+inline constexpr int kTelemetryRegistry = 40;  ///< common: telemetry metric map
+inline constexpr int kLogSink = 50;            ///< common: log emission
+inline constexpr int kLeaf = 99;               ///< strictly-leaf locks (tests)
+
+}  // namespace explora::common::lockrank
+
+// Translation units may pin EXPLORA_CHECK_LEVEL below the build-wide value
+// (tests/test_lockorder_off.cpp proves the compile-out). The inline ABI
+// namespace keys every level-dependent inline entity on the level, so a
+// mixed-level link keeps one distinct, internally consistent copy per
+// level instead of an ODR clash where the linker silently picks one body.
+#define EXPLORA_LOCK_ABI_CONCAT2(a, b) a##b
+#define EXPLORA_LOCK_ABI_CONCAT(a, b) EXPLORA_LOCK_ABI_CONCAT2(a, b)
+#define EXPLORA_LOCK_ABI \
+  EXPLORA_LOCK_ABI_CONCAT(check_lvl, EXPLORA_CHECK_LEVEL)
+
+namespace explora::common::lockorder {
+
+inline namespace EXPLORA_LOCK_ABI {
+
+/// True when the validator hooks are compiled into this translation unit
+/// (EXPLORA_CHECK_LEVEL >= 1 — folded per TU like kCompiledCheckLevel).
+inline constexpr bool kCompiledIn = EXPLORA_CHECK_LEVEL >= 1;
+
+}  // inline namespace
+
+struct MutexInfo;  // opaque registration record (name, rank, counters)
+
+/// Registers (or re-finds) the named lock class. The same name must carry
+/// the same rank everywhere — a mismatch is a contract violation. Distinct
+/// mutex objects sharing a name share one record: they form one lock class
+/// for ordering and accounting. Records live for the process lifetime, so
+/// the returned pointer never dangles.
+[[nodiscard]] MutexInfo* register_mutex(const char* name, int rank);
+
+/// True when the runtime check level is audit, i.e. acquisitions are being
+/// validated and counted.
+[[nodiscard]] inline bool audit_active() noexcept {
+  return contracts::check_level() >= contracts::CheckLevel::kAudit;
+}
+
+namespace detail {
+
+// Number of audit-tracked locks the current thread holds. Inline (and
+// shared across ABI levels) so the unlock fast path can test "anything to
+// untrack?" with a plain thread-local read, even when audit mode was
+// switched off while a tracked lock was still held.
+inline thread_local int t_tracked_depth = 0;
+
+}  // namespace detail
+
+[[nodiscard]] inline bool tracking_any() noexcept {
+  return detail::t_tracked_depth > 0;
+}
+
+/// Depth of the current thread's held-lock stack (for tests).
+[[nodiscard]] inline int held_depth() noexcept {
+  return detail::t_tracked_depth;
+}
+
+/// Audit-path acquisition hooks: validate the rank order (firing the
+/// contracts handler before blocking), acquire the native lock while
+/// counting contention, and push onto the per-thread held stack.
+void lock_audited(MutexInfo* info, std::mutex& native);
+void lock_audited(MutexInfo* info, std::shared_mutex& native);
+void lock_shared_audited(MutexInfo* info, std::shared_mutex& native);
+/// try-acquisition never blocks, so it skips rank validation; a successful
+/// try still joins the held stack and the acquisition count.
+[[nodiscard]] bool try_lock_audited(MutexInfo* info, std::mutex& native);
+
+/// Pops `info` from the per-thread held stack. A no-op when absent (the
+/// lock was acquired before audit mode was enabled) or when info is null.
+void release_tracked(const MutexInfo* info) noexcept;
+
+/// Frozen per-lock-class statistics (audit-mode acquisitions only).
+struct MutexStats {
+  std::string name;
+  int rank = 0;
+  std::uint64_t acquisitions = 0;  ///< audited acquisitions (incl. shared)
+  std::uint64_t contended = 0;     ///< acquisitions that had to wait
+  std::uint64_t wait_rounds = 0;   ///< total yield rounds spent waiting
+};
+
+/// All registered lock classes, sorted by name.
+[[nodiscard]] std::vector<MutexStats> stats();
+
+/// Zeroes every counter; registration records persist.
+void reset_stats();
+
+/// Exports the stats as gauges — lockorder.<name>.{rank, acquisitions,
+/// contended, wait_rounds} — into `registry`. Deliberately pull-based:
+/// golden-trace snapshots never contain these unless a tool asks.
+void publish(telemetry::Registry& registry);
+
+}  // namespace explora::common::lockorder

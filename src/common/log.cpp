@@ -4,11 +4,21 @@
 #include <cstdio>
 #include <string>
 
+#include "common/thread_annotations.hpp"
+
 namespace explora::common {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Serializes sink writes so lines emitted by concurrent pool workers
+/// never interleave. Highest rank in the table: logging is legal while
+/// holding any other lock, and must itself call out to nothing.
+Mutex& sink_mutex() {
+  static Mutex mutex("log.sink", lockrank::kLogSink);
+  return mutex;
+}
 
 [[nodiscard]] const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -44,6 +54,7 @@ void log_line(LogLevel level, std::string_view component,
   line += "] ";
   line += message;
   line += '\n';
+  MutexLock lock(sink_mutex());
   std::fputs(line.c_str(), stderr);
 }
 

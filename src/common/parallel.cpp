@@ -38,10 +38,11 @@ struct ThreadPool::Job {
   std::size_t end = 0;
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::atomic<std::size_t> next{0};
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::size_t done = 0;  ///< guarded by mutex
-  std::exception_ptr error;  ///< guarded by mutex; first failure wins
+  Mutex mutex{"pool.job", lockrank::kPoolJob};
+  CondVar done_cv;
+  std::size_t done EXPLORA_GUARDED_BY(mutex) = 0;
+  /// First failure wins.
+  std::exception_ptr error EXPLORA_GUARDED_BY(mutex);
 };
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -56,7 +57,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.notify_all();
@@ -72,8 +73,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) wake_.wait(lock);
       if (tasks_.empty()) return;  // stopping
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -96,7 +97,7 @@ void ThreadPool::drain(Job& job) {
     } catch (...) {
       error = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(job.mutex);
+    MutexLock lock(job.mutex);
     if (error && !job.error) job.error = std::move(error);
     if (++job.done == job.num_chunks) job.done_cv.notify_all();
   }
@@ -135,7 +136,7 @@ void ThreadPool::parallel_for(
   const std::size_t helpers =
       std::min(workers_.size(), num_chunks - 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
       tasks_.emplace_back([job] { drain(*job); });
     }
@@ -143,8 +144,8 @@ void ThreadPool::parallel_for(
   wake_.notify_all();
 
   drain(*job);
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done_cv.wait(lock, [&] { return job->done == job->num_chunks; });
+  MutexLock lock(job->mutex);
+  while (job->done != job->num_chunks) job->done_cv.wait(lock);
   if (job->error) std::rethrow_exception(job->error);
 }
 

@@ -261,7 +261,7 @@ Registry::Entry& Registry::find_or_create(std::string_view name,
                                           MetricKind kind,
                                           std::span<const std::int64_t> bounds) {
   EXPLORA_EXPECTS_MSG(!name.empty(), "metric name must be non-empty");
-  std::lock_guard lock(mutex_);
+  common::WriterMutexLock lock(mutex_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     auto entry = std::make_unique<Entry>(kind);
@@ -306,7 +306,7 @@ SpanStat& Registry::span(std::string_view name) {
 TelemetrySnapshot Registry::snapshot() const {
   TelemetrySnapshot snap;
   snap.now = now();
-  std::lock_guard lock(mutex_);
+  common::ReaderMutexLock lock(mutex_);
   for (const auto& [name, entry] : metrics_) {
     MetricSnapshot m;
     m.kind = entry->kind;
@@ -345,7 +345,7 @@ TelemetrySnapshot Registry::snapshot() const {
 std::string Registry::snapshot_json() const { return snapshot().to_json(); }
 
 std::size_t Registry::size() const {
-  std::lock_guard lock(mutex_);
+  common::ReaderMutexLock lock(mutex_);
   return metrics_.size();
 }
 
@@ -353,9 +353,18 @@ std::size_t Registry::size() const {
 
 namespace {
 
+// The slot is a plain pointer: reads are ubiquitous and racy-by-design
+// (components bind at construction, before workers exist), while installs
+// are only supported from one thread at a time — enforced fast-tier by the
+// same guard the contracts scopes use.
 Registry*& active_slot() noexcept {
   static Registry* active = &global_registry();
   return active;
+}
+
+contracts::SingleThreadScope& registry_scope() {
+  static contracts::SingleThreadScope scope;
+  return scope;
 }
 
 }  // namespace
@@ -371,14 +380,19 @@ ScopedRegistry::ScopedRegistry()
     : owned_(std::make_unique<Registry>()),
       active_(owned_.get()),
       previous_(&active_registry()) {
+  registry_scope().enter("ScopedRegistry");
   active_slot() = active_;
 }
 
 ScopedRegistry::ScopedRegistry(Registry& registry)
     : active_(&registry), previous_(&active_registry()) {
+  registry_scope().enter("ScopedRegistry");
   active_slot() = active_;
 }
 
-ScopedRegistry::~ScopedRegistry() { active_slot() = previous_; }
+ScopedRegistry::~ScopedRegistry() {
+  active_slot() = previous_;
+  registry_scope().exit();
+}
 
 }  // namespace explora::telemetry

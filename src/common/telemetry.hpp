@@ -36,11 +36,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 #ifndef EXPLORA_TELEMETRY_LEVEL
 #define EXPLORA_TELEMETRY_LEVEL 1
@@ -381,8 +382,12 @@ class Registry {
   [[nodiscard]] Entry& find_or_create(std::string_view name, MetricKind kind,
                                       std::span<const std::int64_t> bounds);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Entry>, std::less<>> metrics_;
+  // Writers (metric creation) are rare and front-loaded; snapshots and
+  // size() read shared.
+  mutable common::SharedMutex mutex_{"telemetry.registry",
+                                     common::lockrank::kTelemetryRegistry};
+  std::map<std::string, std::unique_ptr<Entry>, std::less<>> metrics_
+      EXPLORA_GUARDED_BY(mutex_);
   std::atomic<std::int64_t> now_{0};
 };
 

@@ -129,6 +129,8 @@ Vector ShapExplainer::coalition_value(const Vector& x,
 }
 
 Vector ShapExplainer::base_values() {
+  common::MutexLock lock(base_mutex_);
+  if (base_cache_) return *base_cache_;
   const std::vector<Vector> outputs = model_(background_);
   EXPLORA_ASSERT(outputs.size() == background_.size());
   evaluations_.fetch_add(background_.size(), std::memory_order_relaxed);
@@ -142,6 +144,7 @@ Vector ShapExplainer::base_values() {
   for (double& v : accumulator) {
     v /= static_cast<double>(background_.size());
   }
+  base_cache_ = accumulator;
   return accumulator;
 }
 

@@ -25,11 +25,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
+#include "common/thread_annotations.hpp"
 #include "ml/matrix.hpp"
 
 namespace explora::ml {
@@ -99,6 +101,7 @@ class ShapExplainer {
   }
 
   /// Expected model output over the background (the SHAP base value).
+  /// Computed on first call and cached; safe to call concurrently.
   [[nodiscard]] Vector base_values();
 
  private:
@@ -116,6 +119,12 @@ class ShapExplainer {
   std::vector<Vector> background_;
   Config config_;
   std::atomic<std::uint64_t> evaluations_ = 0;
+
+  // Lowest rank in the table: base_values() holds it across a model call,
+  // which may fan out onto the pool (whose locks rank higher).
+  common::Mutex base_mutex_{"shap.base_cache",
+                            common::lockrank::kShapBaseCache};
+  std::optional<Vector> base_cache_ EXPLORA_GUARDED_BY(base_mutex_);
 
   // Telemetry (xai.shap.*), bound at construction. model_evals mirrors
   // evaluations_ into snapshots (atomic adds from pool workers, so totals

@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/parallel.hpp"
+#include "common/telemetry.hpp"
 #include "ml/matrix.hpp"
 #include "netsim/channel.hpp"
 #include "netsim/scenario.hpp"
@@ -245,6 +249,91 @@ TEST(Contracts, IsProbabilitySimplex) {
 
 TEST(Contracts, CompiledCeilingIsAuditInDefaultBuild) {
   EXPECT_EQ(contracts::kCompiledCheckLevel, contracts::CheckLevel::kAudit);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-awareness of the scoped overrides. The suite name starts with
+// "Parallel" so the tsan preset's test filter picks these up.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelContractScopes, WorkersReadLevelAndHandlerRaceFree) {
+  // Install once on this thread, then hammer the read paths from pool
+  // workers: reads are lock-free atomics and must be tsan-clean against
+  // the scoped install/restore.
+  contracts::ScopedContractHandler guard(&throwing_handler);
+  contracts::ScopedCheckLevel audit(contracts::CheckLevel::kAudit);
+  common::ThreadPool pool(4);
+  std::atomic<int> checks{0};
+  pool.parallel_for(0, 256, 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      EXPLORA_ASSERT(begin <= end);
+      (void)contracts::check_level();
+      (void)contracts::contract_handler();
+      checks.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(checks.load(), 256);
+}
+
+TEST(ParallelContractScopes, NestedScopesOnOneThreadAreFine) {
+  contracts::ScopedContractHandler guard(&throwing_handler);
+  contracts::ScopedCheckLevel outer(contracts::CheckLevel::kFast);
+  {
+    contracts::ScopedCheckLevel inner(contracts::CheckLevel::kAudit);
+    EXPECT_EQ(contracts::check_level(), contracts::CheckLevel::kAudit);
+  }
+  EXPECT_EQ(contracts::check_level(), contracts::CheckLevel::kFast);
+}
+
+TEST(ParallelContractScopes, SecondThreadLevelInstallCaught) {
+  contracts::ScopedContractHandler guard(&throwing_handler);
+  contracts::ScopedCheckLevel held(contracts::CheckLevel::kFast);
+  bool caught = false;
+  std::thread other([&] {
+    try {
+      contracts::ScopedCheckLevel competing(contracts::CheckLevel::kAudit);
+      FAIL() << "cross-thread install should have fired";
+    } catch (const ViolationError& e) {
+      caught = e.message.find("ScopedCheckLevel") != std::string::npos;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(caught);
+  // The rejected install changed nothing.
+  EXPECT_EQ(contracts::check_level(), contracts::CheckLevel::kFast);
+}
+
+TEST(ParallelContractScopes, SecondThreadHandlerInstallCaught) {
+  contracts::ScopedContractHandler held(&throwing_handler);
+  bool caught = false;
+  std::thread other([&] {
+    try {
+      contracts::ScopedContractHandler competing(&throwing_handler);
+      FAIL() << "cross-thread install should have fired";
+    } catch (const ViolationError& e) {
+      caught = e.message.find("ScopedContractHandler") != std::string::npos;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(contracts::contract_handler(), &throwing_handler);
+}
+
+TEST(ParallelContractScopes, SecondThreadRegistryInstallCaught) {
+  contracts::ScopedContractHandler guard(&throwing_handler);
+  telemetry::ScopedRegistry held;
+  bool caught = false;
+  std::thread other([&] {
+    try {
+      telemetry::ScopedRegistry competing;
+      FAIL() << "cross-thread install should have fired";
+    } catch (const ViolationError& e) {
+      caught = e.message.find("ScopedRegistry") != std::string::npos;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(&telemetry::active_registry(), &held.registry());
 }
 
 }  // namespace

@@ -1,0 +1,309 @@
+// Tests for the dynamic lock-order validator (common/lockorder) and the
+// annotated mutex types (common/thread_annotations): rank discipline and
+// re-entrancy detection at audit level, dormancy below it, held-stack
+// bookkeeping across level changes, acquisition/contention accounting, and
+// the telemetry publish path. Violations unwind via a throwing contract
+// handler, so no death tests are needed.
+//
+// Lock-class registrations persist for the process lifetime, so every test
+// uses its own "test.lockorder.*" names to stay independent of execution
+// order (and of the pool/telemetry/log classes the library registers).
+#include "common/lockorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "common/parallel.hpp"
+#include "common/telemetry.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace explora {
+namespace {
+
+using common::Mutex;
+using common::MutexLock;
+using common::SharedMutex;
+namespace lockorder = common::lockorder;
+
+static_assert(lockorder::kCompiledIn,
+              "this TU compiles at the build-wide check level");
+
+struct ViolationError : std::runtime_error {
+  explicit ViolationError(const contracts::ContractViolation& v)
+      : std::runtime_error(std::string(v.kind) + ": (" + v.expr + ") " +
+                           v.message),
+        kind(v.kind),
+        message(v.message) {}
+  std::string kind;
+  std::string message;
+};
+
+[[noreturn]] void throwing_handler(const contracts::ContractViolation& v) {
+  throw ViolationError(v);
+}
+
+/// Audit level + throwing handler for the duration of a test.
+struct AuditScope {
+  contracts::ScopedContractHandler handler{&throwing_handler};
+  contracts::ScopedCheckLevel level{contracts::CheckLevel::kAudit};
+};
+
+std::uint64_t acquisitions_of(const std::string& name) {
+  for (const lockorder::MutexStats& row : lockorder::stats()) {
+    if (row.name == name) return row.acquisitions;
+  }
+  return 0;
+}
+
+std::uint64_t contended_of(const std::string& name) {
+  for (const lockorder::MutexStats& row : lockorder::stats()) {
+    if (row.name == name) return row.contended;
+  }
+  return 0;
+}
+
+TEST(LockOrder, InOrderAcquisitionPassesAndTracksDepth) {
+  AuditScope audit;
+  Mutex low("test.lockorder.inorder.low", 110);
+  Mutex high("test.lockorder.inorder.high", 120);
+  EXPECT_EQ(lockorder::held_depth(), 0);
+  low.lock();
+  EXPECT_EQ(lockorder::held_depth(), 1);
+  high.lock();
+  EXPECT_EQ(lockorder::held_depth(), 2);
+  high.unlock();
+  low.unlock();
+  EXPECT_EQ(lockorder::held_depth(), 0);
+}
+
+TEST(LockOrder, OutOfRankAcquisitionCaughtWithBothNames) {
+  AuditScope audit;
+  Mutex outer("test.lockorder.rank.outer", 150);
+  Mutex inner("test.lockorder.rank.inner", 140);
+  outer.lock();
+  try {
+    inner.lock();
+    FAIL() << "out-of-rank acquisition should have fired";
+  } catch (const ViolationError& e) {
+    EXPECT_EQ(e.kind, "lock-order");
+    EXPECT_NE(e.message.find("test.lockorder.rank.inner"), std::string::npos);
+    EXPECT_NE(e.message.find("test.lockorder.rank.outer"), std::string::npos);
+    EXPECT_NE(e.message.find("140"), std::string::npos);
+    EXPECT_NE(e.message.find("150"), std::string::npos);
+  }
+  // The violating lock was never acquired; the held one still unlocks.
+  EXPECT_EQ(lockorder::held_depth(), 1);
+  outer.unlock();
+  EXPECT_EQ(lockorder::held_depth(), 0);
+}
+
+TEST(LockOrder, EqualRankAcquisitionCaught) {
+  AuditScope audit;
+  Mutex a("test.lockorder.equal.a", 130);
+  Mutex b("test.lockorder.equal.b", 130);
+  a.lock();
+  EXPECT_THROW(b.lock(), ViolationError);
+  a.unlock();
+}
+
+TEST(LockOrder, ReentrantAcquisitionCaughtBeforeDeadlock) {
+  AuditScope audit;
+  Mutex m("test.lockorder.reentrant", 135);
+  m.lock();
+  // Fires before touching the native mutex, so this returns instead of
+  // deadlocking the thread against itself.
+  try {
+    m.lock();
+    FAIL() << "re-entrant acquisition should have fired";
+  } catch (const ViolationError& e) {
+    EXPECT_EQ(e.kind, "lock-order");
+    EXPECT_NE(e.message.find("test.lockorder.reentrant"), std::string::npos);
+  }
+  m.unlock();
+  EXPECT_EQ(lockorder::held_depth(), 0);
+}
+
+TEST(LockOrder, SameNameObjectsFormOneLockClass) {
+  AuditScope audit;
+  Mutex a("test.lockorder.class", 137);
+  Mutex b("test.lockorder.class", 137);
+  a.lock();
+  EXPECT_THROW(b.lock(), ViolationError);  // one class: counts as re-entry
+  a.unlock();
+}
+
+TEST(LockOrder, SameNameDifferentRankIsAContractViolation) {
+  contracts::ScopedContractHandler handler(&throwing_handler);
+  Mutex a("test.lockorder.dup", 160);
+  EXPECT_THROW(Mutex("test.lockorder.dup", 161), ViolationError);
+}
+
+TEST(LockOrder, DormantBelowAuditLevel) {
+  contracts::ScopedContractHandler handler(&throwing_handler);
+  // Runtime level is fast (the default): out-of-rank goes unvalidated and
+  // untracked — the validator costs one atomic load per lock.
+  Mutex outer("test.lockorder.dormant.outer", 170);
+  Mutex inner("test.lockorder.dormant.inner", 165);
+  outer.lock();
+  inner.lock();
+  EXPECT_EQ(lockorder::held_depth(), 0);
+  inner.unlock();
+  outer.unlock();
+}
+
+TEST(LockOrder, NonLifoReleaseOrderSupported) {
+  AuditScope audit;
+  Mutex a("test.lockorder.nonlifo.a", 180);
+  Mutex b("test.lockorder.nonlifo.b", 185);
+  a.lock();
+  b.lock();
+  a.unlock();  // released out of acquisition order
+  EXPECT_EQ(lockorder::held_depth(), 1);
+  b.unlock();
+  EXPECT_EQ(lockorder::held_depth(), 0);
+}
+
+TEST(LockOrder, LockTakenBeforeAuditIsNotTrackedButLaterOnesAre) {
+  contracts::ScopedContractHandler handler(&throwing_handler);
+  Mutex pre("test.lockorder.preaudit", 190);
+  Mutex low("test.lockorder.preaudit.low", 100);
+  pre.lock();  // fast level: untracked
+  {
+    contracts::ScopedCheckLevel audit(contracts::CheckLevel::kAudit);
+    EXPECT_EQ(lockorder::held_depth(), 0);
+    // `pre` is not on the stack, so this lower-rank acquisition passes:
+    // the validator is deliberately best-effort about pre-audit holds.
+    low.lock();
+    EXPECT_EQ(lockorder::held_depth(), 1);
+    low.unlock();
+    EXPECT_EQ(lockorder::held_depth(), 0);
+  }
+  pre.unlock();
+}
+
+TEST(LockOrder, TrackedLockUnlockedAfterAuditDropsIsUntracked) {
+  AuditScope audit;
+  Mutex m("test.lockorder.leveldrop", 195);
+  m.lock();
+  EXPECT_EQ(lockorder::held_depth(), 1);
+  {
+    contracts::ScopedCheckLevel fast(contracts::CheckLevel::kFast);
+    m.unlock();  // still pops the stack: gate is the tracked depth
+    EXPECT_EQ(lockorder::held_depth(), 0);
+  }
+}
+
+TEST(LockOrder, TryLockJoinsTheHeldStack) {
+  AuditScope audit;
+  Mutex m("test.lockorder.trylock", 200);
+  ASSERT_TRUE(m.try_lock());
+  EXPECT_EQ(lockorder::held_depth(), 1);
+  m.unlock();
+  EXPECT_EQ(lockorder::held_depth(), 0);
+}
+
+TEST(LockOrder, SharedMutexValidatesBothModes) {
+  AuditScope audit;
+  SharedMutex rw("test.lockorder.shared", 210);
+  Mutex low("test.lockorder.shared.low", 205);
+  low.lock();
+  {
+    common::ReaderMutexLock reader(rw);  // 205 -> 210: in order
+    EXPECT_EQ(lockorder::held_depth(), 2);
+  }
+  low.unlock();
+  rw.lock_shared();
+  EXPECT_THROW(low.lock(), ViolationError);  // 210 -> 205: out of order
+  rw.unlock_shared();
+  EXPECT_EQ(lockorder::held_depth(), 0);
+}
+
+TEST(LockOrder, StatsCountAuditedAcquisitions) {
+  AuditScope audit;
+  Mutex m("test.lockorder.stats", 220);
+  lockorder::reset_stats();
+  for (int i = 0; i < 5; ++i) {
+    MutexLock lock(m);
+  }
+  EXPECT_EQ(acquisitions_of("test.lockorder.stats"), 5u);
+  EXPECT_EQ(contended_of("test.lockorder.stats"), 0u);
+  lockorder::reset_stats();
+  EXPECT_EQ(acquisitions_of("test.lockorder.stats"), 0u);
+}
+
+TEST(LockOrder, ContentionIsCounted) {
+  AuditScope audit;
+  Mutex m("test.lockorder.contention", 230);
+  lockorder::reset_stats();
+  std::atomic<bool> held{false};
+  std::thread holder([&] {
+    MutexLock lock(m);
+    held.store(true, std::memory_order_release);
+    // Hold long enough that the main thread's first try_lock fails.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  while (!held.load(std::memory_order_acquire)) std::this_thread::yield();
+  m.lock();  // contends with `holder`
+  m.unlock();
+  holder.join();
+  EXPECT_EQ(acquisitions_of("test.lockorder.contention"), 2u);
+  EXPECT_GE(contended_of("test.lockorder.contention"), 1u);
+}
+
+TEST(LockOrder, PublishExportsGauges) {
+  AuditScope audit;
+  Mutex m("test.lockorder.publish", 240);
+  lockorder::reset_stats();
+  {
+    MutexLock lock(m);
+  }
+  telemetry::Registry registry;
+  lockorder::publish(registry);
+  const telemetry::TelemetrySnapshot snap = registry.snapshot();
+  ASSERT_TRUE(snap.metrics.contains("lockorder.test.lockorder.publish.rank"));
+  EXPECT_EQ(snap.metrics.at("lockorder.test.lockorder.publish.rank").value,
+            240);
+  EXPECT_EQ(
+      snap.metrics.at("lockorder.test.lockorder.publish.acquisitions").value,
+      1);
+  EXPECT_TRUE(
+      snap.metrics.contains("lockorder.test.lockorder.publish.contended"));
+  EXPECT_TRUE(
+      snap.metrics.contains("lockorder.test.lockorder.publish.wait_rounds"));
+}
+
+TEST(LockOrder, ThreadPoolRunsCleanUnderAudit) {
+  // End-to-end: the pool's queue (rank 20) and job (rank 30) locks follow
+  // the table on every worker, with the validator live and throwing.
+  AuditScope audit;
+  common::ThreadPool pool(4);
+  lockorder::reset_stats();
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 64, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  EXPECT_GT(acquisitions_of("pool.queue") + acquisitions_of("pool.job"), 0u);
+}
+
+TEST(LockOrder, HeldLocksAreThreadLocal) {
+  AuditScope audit;
+  Mutex m("test.lockorder.threadlocal", 250);
+  m.lock();
+  int other_depth = -1;
+  std::thread observer([&] { other_depth = lockorder::held_depth(); });
+  observer.join();
+  EXPECT_EQ(other_depth, 0);
+  EXPECT_EQ(lockorder::held_depth(), 1);
+  m.unlock();
+}
+
+}  // namespace
+}  // namespace explora

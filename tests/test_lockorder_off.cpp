@@ -1,0 +1,78 @@
+// Proves that EXPLORA_CHECK_LEVEL=0 compiles the lock-order validator out
+// of the annotated mutex types entirely: no registration, no tracking, no
+// validation — even when the runtime level is raised to audit. This TU
+// pins its own compiled ceiling to `off` before the first include, exactly
+// like test_contracts_off.cpp; the inline ABI namespace in
+// common/lockorder.hpp keeps this TU's Mutex distinct from the
+// build-level one, so the mixed-level link stays well-defined.
+//
+// Only the annotation layer is included here — never parallel.hpp or
+// telemetry.hpp, whose classes embed build-level mutexes and must not be
+// re-instantiated at a pinned level.
+#undef EXPLORA_CHECK_LEVEL
+#define EXPLORA_CHECK_LEVEL 0
+#include "common/thread_annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace explora {
+namespace {
+
+using common::Mutex;
+using common::MutexLock;
+using common::SharedMutex;
+namespace lockorder = common::lockorder;
+
+static_assert(!lockorder::kCompiledIn,
+              "the validator must be compiled out in this TU");
+
+struct ViolationError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void throwing_handler(const contracts::ContractViolation& v) {
+  throw ViolationError(v.expr);
+}
+
+TEST(LockOrderOff, OutOfRankAcquisitionCompilesOut) {
+  contracts::ScopedContractHandler handler(&throwing_handler);
+  contracts::ScopedCheckLevel audit(contracts::CheckLevel::kAudit);
+  // Deliberately out of rank *and* runtime-audit: with the hooks compiled
+  // out these are plain std::mutex operations — nothing fires, nothing is
+  // tracked.
+  Mutex outer("test.lockorderoff.outer", 320);
+  Mutex inner("test.lockorderoff.inner", 310);
+  outer.lock();
+  inner.lock();
+  EXPECT_EQ(lockorder::held_depth(), 0);
+  inner.unlock();
+  outer.unlock();
+}
+
+TEST(LockOrderOff, MutexesAreNeverRegistered) {
+  contracts::ScopedCheckLevel audit(contracts::CheckLevel::kAudit);
+  Mutex m("test.lockorderoff.unregistered", 330);
+  {
+    MutexLock lock(m);
+  }
+  for (const lockorder::MutexStats& row : lockorder::stats()) {
+    EXPECT_NE(row.name, "test.lockorderoff.unregistered");
+  }
+}
+
+TEST(LockOrderOff, SharedMutexHooksCompileOut) {
+  contracts::ScopedContractHandler handler(&throwing_handler);
+  contracts::ScopedCheckLevel audit(contracts::CheckLevel::kAudit);
+  SharedMutex rw("test.lockorderoff.shared", 340);
+  Mutex low("test.lockorderoff.low", 300);
+  rw.lock_shared();
+  low.lock();  // out of rank; compiled out, so no violation
+  EXPECT_EQ(lockorder::held_depth(), 0);
+  low.unlock();
+  rw.unlock_shared();
+}
+
+}  // namespace
+}  // namespace explora

@@ -154,6 +154,24 @@ TEST(Shap, SamplingApproximatesExact) {
   }
 }
 
+TEST(Shap, BaseValuesAreCachedAfterFirstCall) {
+  const Vector weights{1.0, 2.0};
+  auto background = random_background(8, 2, 3);
+  const Vector mean = background_mean(background);
+  ShapExplainer explainer(linear_model(weights), background);
+
+  const Vector first = explainer.base_values();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_NEAR(first[0], weights[0] * mean[0] + weights[1] * mean[1], 1e-9);
+  const std::uint64_t evals = explainer.model_evaluations();
+  EXPECT_EQ(evals, 8u);
+
+  // Second call serves the guarded cache: bit-identical, no model calls.
+  const Vector second = explainer.base_values();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(explainer.model_evaluations(), evals);
+}
+
 TEST(Shap, ExactEvaluationCountIsExponential) {
   auto model = [](const Vector& x) { return Vector{x[0]}; };
   auto background = random_background(4, 5, 11);

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Local pre-push correctness gate: builds and tests the repo under the full
-# sanitizer matrix, runs the determinism lint, and (when clang-tidy is
-# installed) the static-analysis pass. Mirrors .github/workflows/ci.yml so
-# a clean run here means a green CI.
+# sanitizer matrix, runs the determinism and concurrency lints, and — when
+# the respective clang tooling is installed — the clang-tidy pass and the
+# clang thread-safety analysis (`thread-safety` preset). Mirrors
+# .github/workflows/ci.yml so a clean run here means a green CI.
 #
 # Usage:
-#   tools/check.sh              # default + asan + ubsan + tsan + lint
-#   tools/check.sh --fast       # default preset + lint only
+#   tools/check.sh              # default + asan + ubsan + tsan + lints
+#   tools/check.sh --fast       # default preset + lints only
 #   tools/check.sh asan ubsan   # explicit preset subset
 #
 # Each preset configures into its own build-<preset>/ tree (gitignored), so
@@ -46,9 +47,23 @@ for preset in "${PRESETS[@]}"; do
 done
 
 run_step "lint:determinism" python3 tools/lint_determinism.py --root .
+run_step "lint:concurrency" python3 tools/lint_concurrency.py --root .
+
+if command -v clang++ >/dev/null 2>&1; then
+  # Clang proves every EXPLORA_GUARDED_BY member is only touched under its
+  # mutex; -Werror=thread-safety makes any gap a build failure.
+  run_step "configure:thread-safety" cmake --preset thread-safety
+  run_step "build:thread-safety" cmake --build --preset thread-safety -j
+  run_step "test:thread-safety" ctest --preset thread-safety -j "$(nproc)"
+else
+  echo
+  echo "==== thread-safety skipped (clang++ not installed) ===="
+  RESULTS+=("SKIP  thread-safety")
+fi
 
 if command -v run-clang-tidy >/dev/null 2>&1 && command -v clang-tidy >/dev/null 2>&1; then
-  # The default preset's compile database drives the tidy pass.
+  # The default preset's compile database drives the tidy pass; the checks
+  # promoted to WarningsAsErrors in .clang-tidy make it a hard gate.
   run_step "lint:clang-tidy" run-clang-tidy -quiet -p build "src/.*\.cpp"
 else
   echo

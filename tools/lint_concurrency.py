@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Concurrency-coverage lint for the EXPLORA C++ sources.
+
+The concurrency model (DESIGN.md §9) routes every lock through the
+annotated types in common/thread_annotations.hpp: each mutex carries a
+lock-class name and a rank from common/lockorder.hpp, clang's
+thread-safety analysis sees the capability annotations, and the runtime
+lock-order validator sees every acquisition. All three guarantees die
+silently the moment someone declares a plain std::mutex, so this lint
+enforces the funnel:
+
+  raw-mutex          std::mutex / shared_mutex / recursive_* / timed_* /
+                     lock_guard / unique_lock / scoped_lock / shared_lock /
+                     condition_variable(_any) anywhere outside the plumbing
+                     layer itself (common/thread_annotations.hpp and
+                     common/lockorder.{hpp,cpp}, which wrap the primitives
+                     and are exempt by path)
+  unranked-mutex     a Mutex/SharedMutex declaration whose initialiser does
+                     not name a lockrank:: constant - ad-hoc numeric ranks
+                     dodge the single ordering table that makes the
+                     validator's verdicts meaningful
+  unguarded-mutable  in a file that owns a Mutex/SharedMutex, a `mutable`
+                     member that is neither the guard itself nor annotated
+                     EXPLORA_GUARDED_BY - mutable members of lock-owning
+                     classes are exactly the state const methods mutate
+                     concurrently, so each needs a guard or an explicit
+                     `// not-shared: <reason>` waiver
+
+A finding on a line carrying `// conc-ok: <rule> (<reason>)` is
+suppressed (`// not-shared: <reason>` for unguarded-mutable); the marker
+documents why the construct is safe at that site.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ("src", "tools")
+EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+
+# The annotation layer and the validator beneath it wrap the raw
+# primitives; they are the one place std:: synchronisation types may
+# appear (declarations there still carry conc-ok markers as
+# documentation, but signatures mentioning std::mutex& are inherent).
+RAW_MUTEX_EXEMPT = {
+    "src/common/thread_annotations.hpp",
+    "src/common/lockorder.hpp",
+    "src/common/lockorder.cpp",
+}
+
+RAW_MUTEX = re.compile(
+    r"\bstd::(?:recursive_timed_mutex|recursive_mutex|shared_timed_mutex"
+    r"|shared_mutex|timed_mutex|mutex"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+    r"|condition_variable_any|condition_variable)\b"
+)
+
+# A Mutex/SharedMutex variable or member declaration: the annotated type,
+# an identifier, then an initialiser or terminator. Type references
+# (`Mutex&`), the wrapper classes themselves (`MutexLock`, `MutexInfo`)
+# and constructor declarations (`Mutex(...)`) do not match.
+MUTEX_DECL = re.compile(
+    r"\b(?:common::)?(?:SharedMutex|Mutex)\s+(\w+)\s*[;({=]"
+)
+
+MUTABLE = re.compile(r"\bmutable\b(?!\s*(?:\{|noexcept|->))")  # skip lambdas
+
+GUARDED = re.compile(r"\bEXPLORA_(?:PT_)?GUARDED_BY\s*\(")
+LOCKRANK = re.compile(r"\block(?:rank)?::k\w+")
+MUTEX_TYPE = re.compile(r"\b(?:common::)?(?:SharedMutex|Mutex)\b")
+
+CONC_OK = re.compile(r"//\s*conc-ok:\s*([\w-]+)?")
+NOT_SHARED = re.compile(r"//\s*not-shared:\s*\S")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string and char literals, preserving line
+    breaks so findings keep their line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(" " * (min(j, n - 1) + 1 - i))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(code: str, offset: int) -> int:
+    return code.count("\n", 0, offset) + 1
+
+
+def statement_span(code: str, start: int) -> tuple[str, int]:
+    """The text from `start` to the next top-level `;` (declarations wrap
+    across lines, e.g. a member whose rank sits on a continuation line),
+    plus the line number of that terminator."""
+    end = code.find(";", start)
+    end = len(code) if end == -1 else end
+    return code[start:end], line_of(code, end - 1 if end else 0)
+
+
+def conc_allowed(raw_lines: list[str], lineno: int, rule: str) -> bool:
+    line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+    m = CONC_OK.search(line)
+    return bool(m) and (m.group(1) is None or m.group(1) == rule)
+
+
+def not_shared_waived(raw_lines: list[str], first: int, last: int) -> bool:
+    for lineno in range(first, last + 1):
+        line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        if NOT_SHARED.search(line):
+            return True
+    return False
+
+
+def lint_text(raw: str, code: str, raw_mutex_exempt: bool = False):
+    """All findings for one stripped source `code` (raw kept for the
+    suppression markers, which live in comments)."""
+    raw_lines = raw.splitlines()
+    findings = []
+
+    if not raw_mutex_exempt:
+        for match in RAW_MUTEX.finditer(code):
+            lineno = line_of(code, match.start())
+            if not conc_allowed(raw_lines, lineno, "raw-mutex"):
+                findings.append((lineno, "raw-mutex", match.group(0)))
+
+    owns_mutex = False
+    for match in MUTEX_DECL.finditer(code):
+        owns_mutex = True
+        lineno = line_of(code, match.start())
+        statement, _ = statement_span(code, match.start())
+        if LOCKRANK.search(statement):
+            continue
+        if not conc_allowed(raw_lines, lineno, "unranked-mutex"):
+            findings.append(
+                (lineno, "unranked-mutex",
+                 f"{match.group(0).rstrip('({=; ')} without a lockrank::")
+            )
+
+    if owns_mutex:
+        for match in MUTABLE.finditer(code):
+            lineno = line_of(code, match.start())
+            statement, last_line = statement_span(code, match.start())
+            if MUTEX_TYPE.search(statement):
+                continue  # the guard itself
+            if GUARDED.search(statement):
+                continue
+            if not_shared_waived(raw_lines, lineno, last_line):
+                continue
+            findings.append(
+                (lineno, "unguarded-mutable", statement.split("\n")[0].strip()[:60])
+            )
+
+    return findings
+
+
+def self_test() -> int:
+    raw_bad = """
+    std::mutex m;
+    std::lock_guard<std::mutex> lock(m);
+    std::shared_mutex rw;
+    std::unique_lock<std::mutex> u(m);
+    std::scoped_lock both(a, b);
+    std::condition_variable cv;
+    std::condition_variable_any cva;
+    """
+    raw_good = """
+    std::mutex native_;  // conc-ok: raw-mutex (the wrapper itself)
+    common::Mutex guarded_{"pool.queue", common::lockrank::kPoolQueue};
+    // a comment naming std::lock_guard is fine
+    const char* doc = "std::mutex is banned outside the wrapper";
+    """
+    unranked_bad = """
+    Mutex unranked_;
+    SharedMutex named_only_{"telemetry.registry"};
+    common::Mutex numeric_{"x.y", 40};
+    """
+    unranked_good = """
+    Mutex ranked_{"pool.queue", lockrank::kPoolQueue};
+    mutable common::SharedMutex mutex_{"telemetry.registry",
+                                       common::lockrank::kTelemetryRegistry};
+    static Mutex sink("log.sink", lockrank::kLogSink);
+    Mutex legacy_;  // conc-ok: unranked-mutex (rank attached in ctor body)
+    MutexLock lock(ranked_);
+    void lock_audited(MutexInfo* info);
+    """
+    mutable_bad = """
+    Mutex mu_{"x.y", lockrank::kLeaf};
+    mutable int cache_ = 0;
+    mutable double scratch_[8];
+    """
+    mutable_good = """
+    Mutex mu_{"x.y", lockrank::kLeaf};
+    mutable common::SharedMutex rw_{"a.b", lockrank::kLeaf};
+    mutable int hits_ EXPLORA_GUARDED_BY(mu_) = 0;
+    mutable long spilled_
+        EXPLORA_GUARDED_BY(mu_) = 0;
+    mutable int misses_ = 0;  // not-shared: (owner-thread only, see ctor)
+    auto f = [count]() mutable { return count + 1; };
+    """
+    mutable_no_mutex = """
+    mutable int memo_ = 0;
+    """
+
+    def run(raw: str, exempt: bool = False):
+        return lint_text(raw, strip_comments_and_strings(raw), exempt)
+
+    raw_bad_findings = run(raw_bad)
+    unranked_bad_findings = run(unranked_bad)
+    mutable_bad_findings = run(mutable_bad)
+    bad = raw_bad_findings + unranked_bad_findings + mutable_bad_findings
+    good = (run(raw_good) + run(unranked_good) + run(mutable_good)
+            + run(mutable_no_mutex) + run(raw_bad, exempt=True))
+
+    ok = {rule for _, rule, _ in raw_bad_findings} == {"raw-mutex"}
+    ok = ok and len(raw_bad_findings) >= 7
+    ok = ok and ({rule for _, rule, _ in unranked_bad_findings}
+                 == {"unranked-mutex"})
+    ok = ok and len(unranked_bad_findings) == 3
+    ok = ok and ({rule for _, rule, _ in mutable_bad_findings}
+                 == {"unguarded-mutable"})
+    ok = ok and len(mutable_bad_findings) == 2
+    ok = ok and not good
+    if not ok:
+        print("self-test FAILED")
+        print("  bad findings:", sorted(bad))
+        print("  good findings:", sorted(good))
+        return 1
+    print(f"self-test ok ({len(bad)} expected findings, 0 false positives)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path, default=pathlib.Path("."),
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the lint's own positive/negative samples")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root.resolve()
+    files = sorted(
+        path
+        for scan_dir in SCAN_DIRS
+        for path in (root / scan_dir).rglob("*")
+        if path.suffix in EXTENSIONS
+    )
+    if not files:
+        print(f"lint_concurrency: no sources under {root}", file=sys.stderr)
+        return 2
+
+    total = 0
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments_and_strings(raw)
+        for lineno, rule, snippet in lint_text(
+                raw, code, raw_mutex_exempt=rel in RAW_MUTEX_EXEMPT):
+            print(f"{rel}:{lineno}: [{rule}] {snippet}")
+            total += 1
+
+    if total:
+        print(f"\nlint_concurrency: {total} finding(s) across {len(files)} files")
+        print("suppress a safe site with: // conc-ok: <rule> (<why it is safe>)")
+        print("waive a non-shared mutable with: // not-shared: <reason>")
+        return 1
+    print(f"lint_concurrency: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -234,6 +234,7 @@ def self_test() -> int:
     auto t = time(nullptr);
     if (a == 1.0) {}
     if (0.5 != b) {}
+    int y = std::rand();  // conc-ok: raw-mutex (another lint's marker)
     EXPLORA_EXPECTS(++n < 5);
     EXPLORA_ASSERT(x = 3);
     EXPLORA_EXPECTS_MSG(total += 1, "grew to {}", total);
@@ -243,6 +244,7 @@ def self_test() -> int:
     good = """
     auto t0 = std::chrono::steady_clock::now();  // duration only
     if (a == 1.0) {}  // det-ok: float-eq (documented reason)
+    if (b != 2.0) {}  // det-ok: float-eq (reason) conc-ok: raw-mutex (x)
     EXPLORA_EXPECTS(n + 1 < 5);
     EXPLORA_EXPECTS(a <= b && c >= d && e != f);
     EXPLORA_EXPECTS_MSG(x < y, "x = {}, y = {}", x, y);
