@@ -10,26 +10,12 @@
 #include "common/format.hpp"
 #include "common/table.hpp"
 #include "ml/ppo.hpp"
+#include "xai/agent_model.hpp"
 #include "xai/shap.hpp"
 
 namespace {
 
 using namespace explora;
-
-/// Model under explanation: latent -> probability of the chosen component
-/// of each action head (4 outputs: PRB split + 3 schedulers).
-xai::ModelFn head_probability_model(const ml::PpoAgent& agent,
-                                    const ml::AgentAction& chosen) {
-  return [&agent, chosen](const xai::Vector& latent) {
-    const auto heads = agent.head_distributions(latent);
-    return xai::Vector{
-        heads[0][chosen.prb_choice],
-        heads[1][chosen.sched_choice[0]],
-        heads[2][chosen.sched_choice[1]],
-        heads[3][chosen.sched_choice[2]],
-    };
-  };
-}
 
 /// 0-9 digit encoding of a relevance magnitude (the paper's color bar).
 char relevance_glyph(double value, double max_abs) {
@@ -73,7 +59,8 @@ int main() {
     xai::ShapExplainer::Config config;
     config.max_background = 16;
     xai::ShapExplainer explainer(
-        head_probability_model(*system.agent, action), background, config);
+        xai::head_probability_model(*system.agent, action), background,
+        config);
     const auto phi = explainer.explain_all_outputs(record.latent);
 
     // Aggregate |phi| over the four outputs per latent feature.

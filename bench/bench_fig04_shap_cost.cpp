@@ -11,6 +11,7 @@
 #include "common/format.hpp"
 #include "common/table.hpp"
 #include "explora/distill.hpp"
+#include "xai/agent_model.hpp"
 #include "xai/lime.hpp"
 #include "xai/shap.hpp"
 
@@ -50,14 +51,8 @@ ShapCost measure_shap(const harness::TrainedSystem& system,
     const auto& record = result.decisions[i];
     const ml::AgentAction action = ml::from_control(record.enforced);
     xai::ShapExplainer explainer(
-        [&system, action](const xai::Vector& latent) {
-          const auto heads = system.agent->head_distributions(latent);
-          return xai::Vector{heads[0][action.prb_choice],
-                             heads[1][action.sched_choice[0]],
-                             heads[2][action.sched_choice[1]],
-                             heads[3][action.sched_choice[2]]};
-        },
-        background, config);
+        xai::head_probability_model(*system.agent, action), background,
+        config);
     (void)explainer.explain_all_outputs(record.latent);
     evals += explainer.model_evaluations();
   }
@@ -140,13 +135,8 @@ int main() {
         bench::trained_system(core::AgentProfile::kHighThroughput);
     const auto& record = result.decisions[result.decisions.size() / 2];
     const ml::AgentAction action = ml::from_control(record.enforced);
-    auto model = [&system, action](const xai::Vector& latent) {
-      const auto heads = system.agent->head_distributions(latent);
-      return xai::Vector{heads[0][action.prb_choice],
-                         heads[1][action.sched_choice[0]],
-                         heads[2][action.sched_choice[1]],
-                         heads[3][action.sched_choice[2]]};
-    };
+    const xai::MatrixModelFn model =
+        xai::head_probability_model(*system.agent, action);
     std::vector<xai::Vector> background;
     for (const auto& d : result.decisions) background.push_back(d.latent);
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -19,6 +20,7 @@
 #include "common/thread_annotations.hpp"
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
+#include "ml/gemm.hpp"
 #include "ml/nn.hpp"
 #include "explora/distill.hpp"
 #include "explora/edbr.hpp"
@@ -534,6 +536,89 @@ std::string forward_batch_case(std::size_t batch) {
       static_cast<double>(batch) / std::max(batched_s, 1e-12));
 }
 
+// Raw blocked-GEMM throughput: the same multiply_batch timed with the
+// scalar kernel forced versus the dispatched backend (AVX2/NEON when
+// compiled in and supported). The two outputs must be byte-identical —
+// that is the SIMD design's contract (DESIGN.md §10), and bit_identical
+// is the row's pass/fail bit; speedup tracks the vectorization win.
+std::string gemm_flops_case(std::size_t out, std::size_t in,
+                            std::size_t batch) {
+  common::Rng rng(11);
+  ml::Matrix weights(out, in);
+  ml::Matrix inputs(batch, in);
+  for (auto& v : weights.data()) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+
+  ml::Matrix scalar_out(batch, out);
+  ml::Matrix simd_out(batch, out);
+  double scalar_s = 0.0;
+  {
+    ml::gemm::ScopedBackend forced(ml::gemm::Backend::kScalar);
+    scalar_s =
+        time_best([&] { weights.multiply_batch(inputs, scalar_out); });
+  }
+  const ml::gemm::Backend backend = ml::gemm::active_backend();
+  const double simd_s =
+      time_best([&] { weights.multiply_batch(inputs, simd_out); });
+
+  const double flops = 2.0 * static_cast<double>(out) *
+                       static_cast<double>(in) * static_cast<double>(batch);
+  const bool identical =
+      scalar_out.data().size() == simd_out.data().size() &&
+      std::memcmp(scalar_out.data().data(), simd_out.data().data(),
+                  scalar_out.data().size() * sizeof(double)) == 0;
+  return common::format(
+      "    {{\"case\": \"gemm_flops\", \"out\": {}, \"in\": {}, "
+      "\"batch\": {}, \"backend\": \"{}\", \"scalar_seconds\": {:.6f}, "
+      "\"simd_seconds\": {:.6f}, \"speedup\": {:.2f}, "
+      "\"gflops\": {:.2f}, \"bit_identical\": {}}}",
+      out, in, batch, ml::gemm::to_string(backend), scalar_s, simd_s,
+      scalar_s / std::max(simd_s, 1e-12),
+      flops / std::max(simd_s, 1e-12) / 1e9, identical ? "true" : "false");
+}
+
+// End-to-end fused forward pass (GEMM + bias + activation epilogue) of the
+// bench MLP, scalar versus dispatched backend. This is the per-decision
+// inference latency the RIC budget cares about. Two activation flavors:
+// relu (DQN online net / autoencoder hidden layers) is GEMM-bound and
+// shows the full vectorization win; tanh (PPO/A2C actors) spends most of
+// its time in std::tanh, which stays bitwise-pinned libm on every backend,
+// so its speedup is structurally capped by Amdahl.
+std::string forward_batch_latency_case(std::size_t batch,
+                                       ml::Activation hidden) {
+  common::Rng rng(6);
+  ml::Mlp mlp({16, 64, 64, 8}, hidden, ml::Activation::kLinear, rng);
+  ml::Matrix inputs(batch, 16);
+  for (auto& v : inputs.data()) v = rng.uniform(-1.0, 1.0);
+
+  ml::Matrix scalar_out;
+  ml::Matrix simd_out;
+  double scalar_s = 0.0;
+  {
+    ml::gemm::ScopedBackend forced(ml::gemm::Backend::kScalar);
+    scalar_s = time_best([&] { scalar_out = mlp.forward_batch(inputs); });
+  }
+  const ml::gemm::Backend backend = ml::gemm::active_backend();
+  const double simd_s =
+      time_best([&] { simd_out = mlp.forward_batch(inputs); });
+
+  const bool identical =
+      scalar_out.data().size() == simd_out.data().size() &&
+      std::memcmp(scalar_out.data().data(), simd_out.data().data(),
+                  scalar_out.data().size() * sizeof(double)) == 0;
+  return common::format(
+      "    {{\"case\": \"forward_batch_latency\", \"batch\": {}, "
+      "\"activation\": \"{}\", \"backend\": \"{}\", "
+      "\"scalar_seconds\": {:.6f}, \"simd_seconds\": {:.6f}, "
+      "\"speedup\": {:.2f}, \"rows_per_second\": {:.0f}, "
+      "\"bit_identical\": {}}}",
+      batch, hidden == ml::Activation::kRelu ? "relu" : "tanh",
+      ml::gemm::to_string(backend), scalar_s, simd_s,
+      scalar_s / std::max(simd_s, 1e-12),
+      static_cast<double>(batch) / std::max(simd_s, 1e-12),
+      identical ? "true" : "false");
+}
+
 void report_parallel_speedup() {
   const std::size_t threads = common::configured_threads();
   common::ThreadPool serial(1);
@@ -546,6 +631,12 @@ void report_parallel_speedup() {
   json += shap_speedup_case(12, serial, parallel) + ",\n";
   json += forward_batch_case(64) + ",\n";
   json += forward_batch_case(256) + ",\n";
+  json += gemm_flops_case(64, 64, 256) + ",\n";
+  json += gemm_flops_case(64, 64, 4096) + ",\n";
+  json += forward_batch_latency_case(256, ml::Activation::kRelu) + ",\n";
+  json += forward_batch_latency_case(4096, ml::Activation::kRelu) + ",\n";
+  json += forward_batch_latency_case(256, ml::Activation::kTanh) + ",\n";
+  json += forward_batch_latency_case(4096, ml::Activation::kTanh) + ",\n";
   json += contract_overhead_case(10) + ",\n";
   json += lock_overhead_case() + ",\n";
   json += telemetry_overhead_case() + "\n";

@@ -1,0 +1,64 @@
+// Over-aligned heap storage for numeric kernels. The SIMD GEMM backends
+// (src/ml/gemm_*.cpp) load 32/64-byte vectors from Matrix storage; placing
+// every buffer on a cache-line boundary keeps those loads aligned and one
+// row never straddles a line it doesn't own.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace explora::common {
+
+/// Cache-line size every kernel-facing buffer is aligned to. 64 bytes
+/// covers x86 and the common ARM implementations and is a multiple of the
+/// 32-byte AVX2 vector width.
+inline constexpr std::size_t kKernelAlignment = 64;
+
+/// Minimal C++17 allocator handing out `Alignment`-aligned storage via the
+/// aligned operator new. Stateless: all instances are interchangeable.
+template <typename T, std::size_t Alignment = kKernelAlignment>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's natural alignment");
+
+ public:
+  using value_type = T;
+  // Explicit rebind: the allocator carries a non-type parameter, so the
+  // allocator_traits default (Alloc<U, TypeArgs...>) cannot synthesize it.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector on cache-line-aligned storage (the Matrix backing store and
+/// the kernels' packing scratch).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace explora::common

@@ -52,6 +52,7 @@ namespace explora::common::lockrank {
 inline constexpr int kShapBaseCache = 10;      ///< xai: SHAP base-value cache
 inline constexpr int kPoolQueue = 20;          ///< common: ThreadPool task queue
 inline constexpr int kPoolJob = 30;            ///< common: per-parallel_for job
+inline constexpr int kShapScratch = 35;        ///< xai: SHAP probe-scratch pool
 inline constexpr int kTelemetryRegistry = 40;  ///< common: telemetry metric map
 inline constexpr int kLogSink = 50;            ///< common: log emission
 inline constexpr int kLeaf = 99;               ///< strictly-leaf locks (tests)

@@ -44,6 +44,23 @@ EffectMagnitude KnowledgeDistiller::classify_effect(
              : EffectMagnitude::kDiminishesLightly;
 }
 
+xai::Dataset build_transition_dataset(
+    const std::vector<TransitionEvent>& events, bool include_js_features) {
+  xai::Dataset data;
+  data.features.reserve(events.size());
+  data.labels.reserve(events.size());
+  for (const auto& event : events) {
+    xai::Vector row = event.delta;
+    if (include_js_features) {
+      row.insert(row.end(), event.js_divergence.begin(),
+                 event.js_divergence.end());
+    }
+    data.features.push_back(std::move(row));
+    data.labels.push_back(static_cast<std::size_t>(event.cls));
+  }
+  return data;
+}
+
 DistilledKnowledge KnowledgeDistiller::distill(
     const std::vector<TransitionEvent>& events) const {
   EXPLORA_EXPECTS(!events.empty());
@@ -53,19 +70,8 @@ DistilledKnowledge KnowledgeDistiller::distill(
       transition_feature_names(config_.include_js_features);
   out.class_names = transition_class_names();
 
-  // ---- build the DT dataset ----
-  xai::Dataset data;
-  data.features.reserve(events.size());
-  data.labels.reserve(events.size());
-  for (const auto& event : events) {
-    xai::Vector row = event.delta;
-    if (config_.include_js_features) {
-      row.insert(row.end(), event.js_divergence.begin(),
-                 event.js_divergence.end());
-    }
-    data.features.push_back(std::move(row));
-    data.labels.push_back(static_cast<std::size_t>(event.cls));
-  }
+  xai::Dataset data =
+      build_transition_dataset(events, config_.include_js_features);
 
   std::set<std::size_t> distinct(data.labels.begin(), data.labels.end());
   if (distinct.size() >= 2) {

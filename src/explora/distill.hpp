@@ -52,6 +52,14 @@ struct DistilledKnowledge {
   std::string summary_text;                ///< Table 2/4 rendering
 };
 
+/// Assembles the DT training set from recorded transitions: one row per
+/// event (mean KPI deltas, plus the JS-divergence block when
+/// `include_js_features`), labeled with the event's transition class.
+/// Shared by KnowledgeDistiller::distill and the benchmarks/tools that fit
+/// surrogate trees on the same data.
+[[nodiscard]] xai::Dataset build_transition_dataset(
+    const std::vector<TransitionEvent>& events, bool include_js_features);
+
 class KnowledgeDistiller {
  public:
   struct Config {

@@ -133,6 +133,20 @@ std::vector<Vector> A2cAgent::head_distributions(
   return split_softmax(logits, unit);
 }
 
+std::vector<std::vector<Vector>> A2cAgent::head_distributions(
+    const Matrix& states) const {
+  const Matrix logits = actor_.forward_batch(states);
+  std::array<double, kNumHeads> unit{};
+  unit.fill(1.0);
+  std::vector<std::vector<Vector>> results;
+  results.reserve(states.rows());
+  for (std::size_t r = 0; r < states.rows(); ++r) {
+    results.push_back(split_softmax(
+        logits.data().subspan(r * logits.cols(), logits.cols()), unit));
+  }
+  return results;
+}
+
 double A2cAgent::value(std::span<const double> state) const {
   Vector out(1, 0.0);
   critic_.infer(state, out);

@@ -45,6 +45,9 @@ class A2cAgent final : public PolicyAgent {
       const std::array<double, kNumHeads>& temperatures) const override;
   [[nodiscard]] std::vector<Vector> head_distributions(
       std::span<const double> state) const override;
+  /// Batched: all states flow through the actor as one forward_batch.
+  [[nodiscard]] std::vector<std::vector<Vector>> head_distributions(
+      const Matrix& states) const override;
 
   [[nodiscard]] double value(std::span<const double> state) const;
 

@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "ml/features.hpp"
+#include "ml/matrix.hpp"
 
 namespace explora::ml {
 
@@ -47,6 +48,22 @@ class PolicyAgent {
   /// (what SHAP explains).
   [[nodiscard]] virtual std::vector<Vector> head_distributions(
       std::span<const double> state) const = 0;
+
+  /// Batched variant: one state per row of `states`, one per-head result
+  /// per row. The default walks rows through the single-state overload;
+  /// agents backed by an Mlp override it to push the whole batch through
+  /// each layer as one blocked-GEMM sweep (same arithmetic per row, so the
+  /// results are bit-identical to the default).
+  [[nodiscard]] virtual std::vector<std::vector<Vector>> head_distributions(
+      const Matrix& states) const {
+    std::vector<std::vector<Vector>> results;
+    results.reserve(states.rows());
+    for (std::size_t r = 0; r < states.rows(); ++r) {
+      results.push_back(head_distributions(
+          states.data().subspan(r * states.cols(), states.cols())));
+    }
+    return results;
+  }
 };
 
 }  // namespace explora::ml

@@ -77,6 +77,9 @@ class DqnAgent final : public PolicyAgent {
       const std::array<double, kNumHeads>& temperatures) const override;
   [[nodiscard]] std::vector<Vector> head_distributions(
       std::span<const double> state) const override;
+  /// Keep the base class's batched overload visible alongside the
+  /// single-state override above.
+  using PolicyAgent::head_distributions;
 
   // --- training ---------------------------------------------------------------
   /// Epsilon-greedy action for environment interaction (training time).

@@ -1,0 +1,207 @@
+// Scalar reference kernel + runtime backend dispatch. This translation
+// unit is compiled with -ffp-contract=off (see src/ml/CMakeLists.txt) so
+// the compiler can never fuse the mul+add below into an FMA — the scalar
+// reduction order is the byte-identity contract every backend honors.
+#include "ml/gemm.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace explora::ml::gemm {
+
+const char* to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kNeon: return "neon";
+    case Backend::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void scalar_kernel(const double* w, std::size_t out, std::size_t in,
+                   const double* x, std::size_t batch, double* y,
+                   const double* bias, Epilogue epilogue) {
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* row_in = x + b * in;
+    double* row_out = y + b * out;
+    for (std::size_t r = 0; r < out; ++r) {
+      const double* weights = w + r * in;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < in; ++c) acc += weights[c] * row_in[c];
+      switch (epilogue) {
+        case Epilogue::kNone:
+          row_out[r] = acc;
+          break;
+        case Epilogue::kBias:
+          row_out[r] = acc + bias[r];
+          break;
+        case Epilogue::kBiasRelu: {
+          const double v = acc + bias[r];
+          row_out[r] = v > 0.0 ? v : 0.0;
+          break;
+        }
+        case Epilogue::kBiasTanh:
+          row_out[r] = std::tanh(acc + bias[r]);
+          break;
+      }
+    }
+  }
+}
+
+void apply_epilogue(double* dst, const double* acc, const double* bias,
+                    std::size_t r0, std::size_t valid,
+                    Epilogue epilogue) noexcept {
+  switch (epilogue) {
+    case Epilogue::kNone:
+      std::memcpy(dst, acc, valid * sizeof(double));
+      return;
+    case Epilogue::kBias:
+      for (std::size_t l = 0; l < valid; ++l) dst[l] = acc[l] + bias[r0 + l];
+      return;
+    case Epilogue::kBiasRelu:
+      for (std::size_t l = 0; l < valid; ++l) {
+        const double v = acc[l] + bias[r0 + l];
+        dst[l] = v > 0.0 ? v : 0.0;
+      }
+      return;
+    case Epilogue::kBiasTanh:
+      for (std::size_t l = 0; l < valid; ++l) {
+        dst[l] = std::tanh(acc[l] + bias[r0 + l]);
+      }
+      return;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+[[nodiscard]] bool compiled_in(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(EXPLORA_SIMD_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(EXPLORA_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kAvx512:
+#if defined(EXPLORA_SIMD_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+[[nodiscard]] bool cpu_supports(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+      // NEON with double lanes is baseline on aarch64; the TU only builds
+      // there.
+      return true;
+    case Backend::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+[[nodiscard]] Backend detect_backend() noexcept {
+  // Runtime escape hatch mirroring the CMake option, for A/B runs of an
+  // already-built binary. Results are byte-identical either way, so this
+  // only ever changes speed.
+  if (const char* env = std::getenv("EXPLORA_SIMD")) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "scalar") == 0) {
+      return Backend::kScalar;
+    }
+    // Pin a specific backend by name; silently falls through to auto
+    // detection when it is not available on this build/CPU.
+    for (Backend pin : {Backend::kAvx512, Backend::kAvx2, Backend::kNeon}) {
+      if (std::strcmp(env, to_string(pin)) == 0 && compiled_in(pin) &&
+          cpu_supports(pin)) {
+        return pin;
+      }
+    }
+  }
+  for (Backend best : {Backend::kAvx512, Backend::kAvx2, Backend::kNeon}) {
+    if (compiled_in(best) && cpu_supports(best)) return best;
+  }
+  return Backend::kScalar;
+}
+
+[[nodiscard]] std::atomic<Backend>& backend_slot() noexcept {
+  static std::atomic<Backend> slot{detect_backend()};
+  return slot;
+}
+
+}  // namespace
+
+bool backend_available(Backend backend) noexcept {
+  return compiled_in(backend) && cpu_supports(backend);
+}
+
+Backend active_backend() noexcept {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+bool set_backend(Backend backend) noexcept {
+  if (!backend_available(backend)) return false;
+  backend_slot().store(backend, std::memory_order_relaxed);
+  return true;
+}
+
+void run(const double* w, std::size_t out, std::size_t in, const double* x,
+         std::size_t batch, double* y, const double* bias, Epilogue epilogue) {
+  EXPLORA_EXPECTS(bias != nullptr || epilogue == Epilogue::kNone);
+  if (batch == 0 || out == 0) return;
+  switch (active_backend()) {
+#if defined(EXPLORA_SIMD_AVX2)
+    case Backend::kAvx2:
+      detail::avx2_kernel(w, out, in, x, batch, y, bias, epilogue);
+      return;
+#endif
+#if defined(EXPLORA_SIMD_AVX512)
+    case Backend::kAvx512:
+      detail::avx512_kernel(w, out, in, x, batch, y, bias, epilogue);
+      return;
+#endif
+#if defined(EXPLORA_SIMD_NEON)
+    case Backend::kNeon:
+      detail::neon_kernel(w, out, in, x, batch, y, bias, epilogue);
+      return;
+#endif
+    default:
+      detail::scalar_kernel(w, out, in, x, batch, y, bias, epilogue);
+      return;
+  }
+}
+
+}  // namespace explora::ml::gemm

@@ -1,0 +1,116 @@
+// Blocked GEMM core behind Matrix::multiply / Mlp::forward_batch, with a
+// deterministic fixed reduction order.
+//
+// Every backend computes, for each (batch row b, output neuron r):
+//
+//   acc = ((w[r][0]*x[b][0]) + w[r][1]*x[b][1]) + ... + w[r][in-1]*x[b][in-1]
+//   y[b][r] = epilogue(acc [+ bias[r]])
+//
+// i.e. one multiply and one add per term, strictly in ascending input
+// order — the exact dependency chain of the naive scalar loop. The SIMD
+// backends vectorize ACROSS output neurons (each vector lane owns one r
+// and keeps its own sequential-over-c chain, reading a packed transposed
+// weight panel) and never use FMA or horizontal reductions, so their
+// results are byte-identical to the scalar fallback on every input. That
+// invariant is what keeps golden traces and SHAP attributions unchanged
+// when EXPLORA_SIMD toggles; tests/test_gemm.cpp enforces it per shape
+// and tools/lint_determinism.py bans raw intrinsics outside these kernels.
+//
+// Backend selection: the best compiled-in backend the CPU supports is
+// picked on first use (avx512 > avx2 > neon > scalar); the EXPLORA_SIMD
+// environment variable ("off"/"0"/"scalar" to disable, or a backend name
+// like "avx2" to pin one) and set_backend()/ScopedBackend (tests, benches)
+// override it at runtime. Configure-time: the EXPLORA_SIMD CMake option
+// compiles the SIMD translation units out entirely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace explora::ml::gemm {
+
+enum class Backend : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+  kAvx512 = 3,
+};
+
+[[nodiscard]] const char* to_string(Backend backend) noexcept;
+
+/// Element-wise finisher fused into the kernel while the output tile is
+/// cache-hot: y = act(acc + bias). kNone ignores `bias` (may be null).
+enum class Epilogue : std::uint8_t {
+  kNone = 0,
+  kBias = 1,
+  kBiasRelu = 2,
+  kBiasTanh = 3,
+};
+
+/// True when `backend` is compiled in and supported by this CPU. kScalar
+/// is always available.
+[[nodiscard]] bool backend_available(Backend backend) noexcept;
+
+/// Backend the next run() call dispatches to.
+[[nodiscard]] Backend active_backend() noexcept;
+
+/// Selects the dispatch backend. Returns false (keeping the current one)
+/// when `backend` is unavailable on this build/CPU.
+bool set_backend(Backend backend) noexcept;
+
+/// RAII backend override for tests and benches; restores the previous
+/// backend on destruction. Selecting an unavailable backend is a no-op
+/// (engaged() reports whether the switch took).
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend) noexcept
+      : previous_(active_backend()), engaged_(set_backend(backend)) {}
+  ~ScopedBackend() { set_backend(previous_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+  [[nodiscard]] bool engaged() const noexcept { return engaged_; }
+
+ private:
+  Backend previous_;
+  bool engaged_;
+};
+
+/// y (batch x out) = x (batch x in) * w (out x in)^T, plus the fused
+/// epilogue. All pointers are row-major and must not alias. `bias` must
+/// have `out` elements unless the epilogue is kNone.
+void run(const double* w, std::size_t out, std::size_t in, const double* x,
+         std::size_t batch, double* y, const double* bias, Epilogue epilogue);
+
+namespace detail {
+
+/// Portable reference kernel — the reduction-order contract in executable
+/// form. Every SIMD backend must match it byte-for-byte.
+void scalar_kernel(const double* w, std::size_t out, std::size_t in,
+                   const double* x, std::size_t batch, double* y,
+                   const double* bias, Epilogue epilogue);
+
+#if defined(EXPLORA_SIMD_AVX2)
+void avx2_kernel(const double* w, std::size_t out, std::size_t in,
+                 const double* x, std::size_t batch, double* y,
+                 const double* bias, Epilogue epilogue);
+#endif
+#if defined(EXPLORA_SIMD_AVX512)
+void avx512_kernel(const double* w, std::size_t out, std::size_t in,
+                   const double* x, std::size_t batch, double* y,
+                   const double* bias, Epilogue epilogue);
+#endif
+#if defined(EXPLORA_SIMD_NEON)
+void neon_kernel(const double* w, std::size_t out, std::size_t in,
+                 const double* x, std::size_t batch, double* y,
+                 const double* bias, Epilogue epilogue);
+#endif
+
+/// Scalar epilogue over one packed tile; shared by the SIMD backends so
+/// the finisher semantics can't drift from scalar_kernel's.
+void apply_epilogue(double* dst, const double* acc, const double* bias,
+                    std::size_t r0, std::size_t valid,
+                    Epilogue epilogue) noexcept;
+
+}  // namespace detail
+
+}  // namespace explora::ml::gemm

@@ -1,0 +1,132 @@
+// AVX2 backend: 4 batch rows x 8 output neurons per tile, packed
+// transposed weight panels, separate mul + add (never FMA).
+//
+// Determinism: vector lane l of a panel owns output neuron r0+l and
+// accumulates w[r0+l][c] * x[b][c] for c = 0,1,2,... — the same serial
+// dependency chain the scalar kernel runs, just eight neurons at a time.
+// No horizontal reduction ever happens, so every output double is
+// byte-identical to detail::scalar_kernel. The TU is compiled with
+// -mavx2 -ffp-contract=off (src/ml/CMakeLists.txt) so the compiler cannot
+// re-fuse the explicit mul/add pairs.
+#include "ml/gemm.hpp"
+
+#if defined(EXPLORA_SIMD_AVX2)
+
+#include <immintrin.h>  // det-ok: simd-intrinsic (approved kernel file)
+
+#include <cstddef>
+
+#include "common/aligned.hpp"
+
+namespace explora::ml::gemm::detail {
+
+namespace {
+
+constexpr std::size_t kPanel = 8;  ///< output neurons per packed panel
+constexpr std::size_t kBatchTile = 4;  ///< batch rows per microkernel call
+
+/// Packs w (out x in, row-major) into transposed panels: panel p holds
+/// neurons [p*8, p*8+8); within a panel the 8 weights of input c are
+/// contiguous at offset c*8. Lanes past `out` are zero (their results are
+/// discarded). Thread-local so concurrent pool workers never share it.
+std::size_t pack_weights(const double* w, std::size_t out, std::size_t in,
+                         common::AlignedVector<double>& packed) {
+  const std::size_t panels = (out + kPanel - 1) / kPanel;
+  packed.resize(panels * in * kPanel);
+  for (std::size_t p = 0; p < panels; ++p) {
+    const std::size_t r0 = p * kPanel;
+    double* panel = packed.data() + p * in * kPanel;
+    for (std::size_t c = 0; c < in; ++c) {
+      for (std::size_t l = 0; l < kPanel; ++l) {
+        panel[c * kPanel + l] =
+            r0 + l < out ? w[(r0 + l) * in + c] : 0.0;
+      }
+    }
+  }
+  return panels;
+}
+
+/// One (BT batch rows) x (8 neurons) tile: BT*2 independent accumulators,
+/// each lane advancing its own strictly-sequential c-chain.
+template <std::size_t BT>
+void micro_tile(const double* panel, std::size_t in, const double* x,
+                std::size_t x_stride, double* y, std::size_t y_stride,
+                const double* bias, std::size_t r0, std::size_t valid,
+                Epilogue epilogue) {
+  __m256d acc_lo[BT];
+  __m256d acc_hi[BT];
+  for (std::size_t bt = 0; bt < BT; ++bt) {
+    acc_lo[bt] = _mm256_setzero_pd();
+    acc_hi[bt] = _mm256_setzero_pd();
+  }
+  for (std::size_t c = 0; c < in; ++c) {
+    const __m256d w_lo = _mm256_load_pd(panel + c * kPanel);
+    const __m256d w_hi = _mm256_load_pd(panel + c * kPanel + 4);
+    for (std::size_t bt = 0; bt < BT; ++bt) {
+      const __m256d xv = _mm256_set1_pd(x[bt * x_stride + c]);
+      acc_lo[bt] = _mm256_add_pd(acc_lo[bt], _mm256_mul_pd(w_lo, xv));
+      acc_hi[bt] = _mm256_add_pd(acc_hi[bt], _mm256_mul_pd(w_hi, xv));
+    }
+  }
+  // Full panels store vectorized for the non-tanh epilogues: one add for
+  // the bias (the same single rounding as scalar), and relu via max with
+  // acc as the first operand — VMAXPD returns the *second* operand on a
+  // NaN/equal-zero first operand, exactly matching the scalar
+  // `v > 0.0 ? v : 0.0` (which yields +0.0 for -0.0 and NaN inputs).
+  if (valid == kPanel && epilogue != Epilogue::kBiasTanh) {
+    const bool none = epilogue == Epilogue::kNone;
+    const __m256d b_lo = none ? _mm256_setzero_pd()
+                              : _mm256_loadu_pd(bias + r0);
+    const __m256d b_hi = none ? _mm256_setzero_pd()
+                              : _mm256_loadu_pd(bias + r0 + 4);
+    for (std::size_t bt = 0; bt < BT; ++bt) {
+      __m256d v_lo = none ? acc_lo[bt] : _mm256_add_pd(acc_lo[bt], b_lo);
+      __m256d v_hi = none ? acc_hi[bt] : _mm256_add_pd(acc_hi[bt], b_hi);
+      if (epilogue == Epilogue::kBiasRelu) {
+        v_lo = _mm256_max_pd(v_lo, _mm256_setzero_pd());
+        v_hi = _mm256_max_pd(v_hi, _mm256_setzero_pd());
+      }
+      _mm256_storeu_pd(y + bt * y_stride + r0, v_lo);
+      _mm256_storeu_pd(y + bt * y_stride + r0 + 4, v_hi);
+    }
+    return;
+  }
+  alignas(32) double tile[kPanel];
+  for (std::size_t bt = 0; bt < BT; ++bt) {
+    _mm256_store_pd(tile, acc_lo[bt]);
+    _mm256_store_pd(tile + 4, acc_hi[bt]);
+    apply_epilogue(y + bt * y_stride + r0, tile, bias, r0, valid, epilogue);
+  }
+}
+
+}  // namespace
+
+void avx2_kernel(const double* w, std::size_t out, std::size_t in,
+                 const double* x, std::size_t batch, double* y,
+                 const double* bias, Epilogue epilogue) {
+  thread_local common::AlignedVector<double> t_packed;
+  const std::size_t panels = pack_weights(w, out, in, t_packed);
+
+  std::size_t b = 0;
+  for (; b + kBatchTile <= batch; b += kBatchTile) {
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::size_t r0 = p * kPanel;
+      const std::size_t valid = out - r0 < kPanel ? out - r0 : kPanel;
+      micro_tile<kBatchTile>(t_packed.data() + p * in * kPanel, in,
+                             x + b * in, in, y + b * out, out, bias, r0,
+                             valid, epilogue);
+    }
+  }
+  for (; b < batch; ++b) {
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::size_t r0 = p * kPanel;
+      const std::size_t valid = out - r0 < kPanel ? out - r0 : kPanel;
+      micro_tile<1>(t_packed.data() + p * in * kPanel, in, x + b * in, in,
+                    y + b * out, out, bias, r0, valid, epilogue);
+    }
+  }
+}
+
+}  // namespace explora::ml::gemm::detail
+
+#endif  // EXPLORA_SIMD_AVX2

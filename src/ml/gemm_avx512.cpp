@@ -1,0 +1,121 @@
+// AVX-512 backend: 8 batch rows x 8 output neurons per tile, one 512-bit
+// register per packed weight panel column, separate mul + add (never FMA).
+//
+// Determinism: identical contract to the AVX2 backend — vector lane l of a
+// panel owns output neuron r0+l and accumulates w[r0+l][c] * x[b][c] for
+// c = 0,1,2,... in its own strictly-sequential chain; no horizontal
+// reductions, so every output double is byte-identical to
+// detail::scalar_kernel. The wider registers only change *which* neurons
+// advance together (all 8 of a panel in one register instead of two
+// 4-lane halves), never the per-neuron arithmetic order. The TU is
+// compiled with -mavx512f -ffp-contract=off (src/ml/CMakeLists.txt).
+#include "ml/gemm.hpp"
+
+#if defined(EXPLORA_SIMD_AVX512)
+
+#include <immintrin.h>  // det-ok: simd-intrinsic (approved kernel file)
+
+#include <cstddef>
+
+#include "common/aligned.hpp"
+
+namespace explora::ml::gemm::detail {
+
+namespace {
+
+constexpr std::size_t kPanel = 8;      ///< output neurons per packed panel
+constexpr std::size_t kBatchTile = 8;  ///< batch rows per microkernel call
+
+/// Same packed layout as the AVX2 backend: panel p holds neurons
+/// [p*8, p*8+8), the 8 weights of input c contiguous at offset c*8 —
+/// exactly one aligned 512-bit load per (panel, c). Pad lanes are zero.
+std::size_t pack_weights(const double* w, std::size_t out, std::size_t in,
+                         common::AlignedVector<double>& packed) {
+  const std::size_t panels = (out + kPanel - 1) / kPanel;
+  packed.resize(panels * in * kPanel);
+  for (std::size_t p = 0; p < panels; ++p) {
+    const std::size_t r0 = p * kPanel;
+    double* panel = packed.data() + p * in * kPanel;
+    for (std::size_t c = 0; c < in; ++c) {
+      for (std::size_t l = 0; l < kPanel; ++l) {
+        panel[c * kPanel + l] =
+            r0 + l < out ? w[(r0 + l) * in + c] : 0.0;
+      }
+    }
+  }
+  return panels;
+}
+
+/// One (BT batch rows) x (8 neurons) tile: BT independent 8-lane
+/// accumulators, each lane advancing its own strictly-sequential c-chain.
+template <std::size_t BT>
+void micro_tile(const double* panel, std::size_t in, const double* x,
+                std::size_t x_stride, double* y, std::size_t y_stride,
+                const double* bias, std::size_t r0, std::size_t valid,
+                Epilogue epilogue) {
+  __m512d acc[BT];
+  for (std::size_t bt = 0; bt < BT; ++bt) acc[bt] = _mm512_setzero_pd();
+  for (std::size_t c = 0; c < in; ++c) {
+    const __m512d wv = _mm512_load_pd(panel + c * kPanel);
+    for (std::size_t bt = 0; bt < BT; ++bt) {
+      const __m512d xv = _mm512_set1_pd(x[bt * x_stride + c]);
+      acc[bt] = _mm512_add_pd(acc[bt], _mm512_mul_pd(wv, xv));
+    }
+  }
+  // Full panels store vectorized for the non-tanh epilogues: one add for
+  // the bias (the same single rounding as scalar), and relu via max with
+  // acc as the first operand — VMAXPD returns the *second* operand on a
+  // NaN/equal-zero first operand, exactly matching the scalar
+  // `v > 0.0 ? v : 0.0` (which yields +0.0 for -0.0 and NaN inputs).
+  if (valid == kPanel && epilogue != Epilogue::kBiasTanh) {
+    const __m512d bv = epilogue == Epilogue::kNone
+                           ? _mm512_setzero_pd()
+                           : _mm512_loadu_pd(bias + r0);
+    for (std::size_t bt = 0; bt < BT; ++bt) {
+      __m512d v = epilogue == Epilogue::kNone ? acc[bt]
+                                              : _mm512_add_pd(acc[bt], bv);
+      if (epilogue == Epilogue::kBiasRelu) {
+        v = _mm512_max_pd(v, _mm512_setzero_pd());
+      }
+      _mm512_storeu_pd(y + bt * y_stride + r0, v);
+    }
+    return;
+  }
+  alignas(64) double tile[kPanel];
+  for (std::size_t bt = 0; bt < BT; ++bt) {
+    _mm512_store_pd(tile, acc[bt]);
+    apply_epilogue(y + bt * y_stride + r0, tile, bias, r0, valid, epilogue);
+  }
+}
+
+}  // namespace
+
+void avx512_kernel(const double* w, std::size_t out, std::size_t in,
+                   const double* x, std::size_t batch, double* y,
+                   const double* bias, Epilogue epilogue) {
+  thread_local common::AlignedVector<double> t_packed;
+  const std::size_t panels = pack_weights(w, out, in, t_packed);
+
+  std::size_t b = 0;
+  for (; b + kBatchTile <= batch; b += kBatchTile) {
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::size_t r0 = p * kPanel;
+      const std::size_t valid = out - r0 < kPanel ? out - r0 : kPanel;
+      micro_tile<kBatchTile>(t_packed.data() + p * in * kPanel, in,
+                             x + b * in, in, y + b * out, out, bias, r0,
+                             valid, epilogue);
+    }
+  }
+  for (; b < batch; ++b) {
+    for (std::size_t p = 0; p < panels; ++p) {
+      const std::size_t r0 = p * kPanel;
+      const std::size_t valid = out - r0 < kPanel ? out - r0 : kPanel;
+      micro_tile<1>(t_packed.data() + p * in * kPanel, in, x + b * in, in,
+                    y + b * out, out, bias, r0, valid, epilogue);
+    }
+  }
+}
+
+}  // namespace explora::ml::gemm::detail
+
+#endif  // EXPLORA_SIMD_AVX512

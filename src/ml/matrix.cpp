@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "ml/gemm.hpp"
 
 namespace explora::ml {
 
@@ -13,18 +14,20 @@ void Matrix::fill(double value) noexcept {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 void Matrix::multiply(std::span<const double> x, std::span<double> y) const {
   EXPLORA_EXPECTS_MSG(x.size() == cols_, "x has {} elements, matrix has {} cols",
                       x.size(), cols_);
   EXPLORA_EXPECTS_MSG(y.size() == rows_, "y has {} elements, matrix has {} rows",
                       y.size(), rows_);
   EXPLORA_AUDIT(contracts::all_finite(x));
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double* row = data_.data() + r * cols_;
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  gemm::run(data_.data(), rows_, cols_, x.data(), 1, y.data(), nullptr,
+            gemm::Epilogue::kNone);
 }
 
 void Matrix::multiply_batch(const Matrix& x, Matrix& y) const {
@@ -34,16 +37,8 @@ void Matrix::multiply_batch(const Matrix& x, Matrix& y) const {
                       "y is {}x{}, want {}x{}", y.rows(), y.cols(), x.rows(),
                       rows_);
   EXPLORA_AUDIT(contracts::all_finite(x.data()));
-  for (std::size_t b = 0; b < x.rows(); ++b) {
-    const double* in = x.data_.data() + b * cols_;
-    double* out = y.data_.data() + b * rows_;
-    for (std::size_t r = 0; r < rows_; ++r) {
-      const double* row = data_.data() + r * cols_;
-      double acc = 0.0;
-      for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * in[c];
-      out[r] = acc;
-    }
-  }
+  gemm::run(data_.data(), rows_, cols_, x.data_.data(), x.rows(),
+            y.data_.data(), nullptr, gemm::Epilogue::kNone);
 }
 
 void Matrix::multiply_transposed(std::span<const double> x,

@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
+
 namespace explora::ml {
 
 using Vector = std::vector<double>;
@@ -33,6 +35,11 @@ class Matrix {
 
   void fill(double value) noexcept;
 
+  /// Reshapes to rows x cols, reusing the existing allocation when it is
+  /// large enough (scratch-buffer reuse on hot paths). Element values are
+  /// unspecified afterwards — callers overwrite every cell.
+  void resize(std::size_t rows, std::size_t cols);
+
   /// y = A x (x.size() == cols, y.size() == rows).
   void multiply(std::span<const double> x, std::span<double> y) const;
   /// Batched variant: Y = X A^T with X (batch x cols) and Y (batch x rows),
@@ -49,7 +56,8 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  // Cache-line aligned so the SIMD GEMM backends get aligned panel loads.
+  common::AlignedVector<double> data_;
 };
 
 }  // namespace explora::ml

@@ -4,8 +4,26 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "ml/gemm.hpp"
 
 namespace explora::ml {
+
+namespace {
+
+/// Maps a layer activation to the GEMM epilogue that fuses bias-add and
+/// activation into the kernel while the output tile is cache-hot. The
+/// fused arithmetic is the same (acc + bias, then the activation) in the
+/// same element order, so results match the old two-pass code exactly.
+[[nodiscard]] gemm::Epilogue epilogue_for(Activation act) noexcept {
+  switch (act) {
+    case Activation::kLinear: return gemm::Epilogue::kBias;
+    case Activation::kRelu: return gemm::Epilogue::kBiasRelu;
+    case Activation::kTanh: return gemm::Epilogue::kBiasTanh;
+  }
+  return gemm::Epilogue::kBias;
+}
+
+}  // namespace
 
 void apply_activation(Activation act, std::span<double> values) noexcept {
   switch (act) {
@@ -73,18 +91,18 @@ DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act,
 
 void DenseLayer::forward(std::span<const double> in,
                          std::span<double> out) const {
-  weights_.multiply(in, out);
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] += bias_[i];
-  apply_activation(act_, out);
+  EXPLORA_EXPECTS(in.size() == in_size() && out.size() == out_size());
+  EXPLORA_AUDIT(contracts::all_finite(in));
+  gemm::run(weights_.data().data(), out_size(), in_size(), in.data(), 1,
+            out.data(), bias_.data(), epilogue_for(act_));
 }
 
 void DenseLayer::forward_batch(const Matrix& in, Matrix& out) const {
-  weights_.multiply_batch(in, out);
-  for (std::size_t b = 0; b < out.rows(); ++b) {
-    auto row = out.data().subspan(b * out.cols(), out.cols());
-    for (std::size_t i = 0; i < row.size(); ++i) row[i] += bias_[i];
-    apply_activation(act_, row);
-  }
+  EXPLORA_EXPECTS(in.cols() == in_size());
+  EXPLORA_EXPECTS(out.rows() == in.rows() && out.cols() == out_size());
+  EXPLORA_AUDIT(contracts::all_finite(in.data()));
+  gemm::run(weights_.data().data(), out_size(), in_size(), in.data().data(),
+            in.rows(), out.data().data(), bias_.data(), epilogue_for(act_));
 }
 
 void DenseLayer::backward(std::span<const double> in,

@@ -220,6 +220,19 @@ std::vector<Vector> PpoAgent::head_distributions(
   return split_softmax(logits, uniform_temperatures(1.0));
 }
 
+std::vector<std::vector<Vector>> PpoAgent::head_distributions(
+    const Matrix& states) const {
+  const Matrix logits = actor_.forward_batch(states);
+  std::vector<std::vector<Vector>> results;
+  results.reserve(states.rows());
+  for (std::size_t r = 0; r < states.rows(); ++r) {
+    results.push_back(split_softmax(
+        logits.data().subspan(r * logits.cols(), logits.cols()),
+        uniform_temperatures(1.0)));
+  }
+  return results;
+}
+
 double PpoAgent::update(const RolloutBuffer& buffer) {
   const auto& steps = buffer.steps();
   const auto& advantages = buffer.advantages();

@@ -101,6 +101,9 @@ class PpoAgent final : public PolicyAgent {
   /// Full per-head probability vectors for a state (used by SHAP / XAI).
   [[nodiscard]] std::vector<Vector> head_distributions(
       std::span<const double> state) const override;
+  /// Batched: all states flow through the actor as one forward_batch.
+  [[nodiscard]] std::vector<std::vector<Vector>> head_distributions(
+      const Matrix& states) const override;
 
   /// One PPO update over the buffer (which must have GAE computed).
   /// Returns the mean total loss of the final epoch.

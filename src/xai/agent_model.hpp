@@ -1,0 +1,23 @@
+// Bridges a trained PolicyAgent into the XAI explainers' matrix-batched
+// model interface. This is the "model under explanation" of the paper's
+// Figs. 3-4: latent state in, probability the agent assigns to the chosen
+// component of each action head out (kNumHeads outputs: PRB split + one
+// scheduler per slice).
+#pragma once
+
+#include "ml/agent.hpp"
+#include "xai/shap.hpp"
+
+namespace explora::xai {
+
+/// Wraps `agent` into a MatrixModelFn: row r of the result holds the
+/// per-head probabilities of `chosen`'s components at probe row r. The
+/// whole probe matrix flows through the agent's batched
+/// head_distributions — for Mlp-backed agents that is one blocked-GEMM
+/// sweep per layer instead of one forward pass per probe, with
+/// bit-identical probabilities. The agent must outlive the returned
+/// callable; safe to invoke concurrently.
+[[nodiscard]] MatrixModelFn head_probability_model(
+    const ml::PolicyAgent& agent, const ml::AgentAction& chosen);
+
+}  // namespace explora::xai

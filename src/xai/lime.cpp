@@ -39,9 +39,15 @@ Vector solve_linear_system(std::vector<Vector> a, Vector b) {
 }
 
 LimeExplainer::LimeExplainer(ModelFn model)
-    : LimeExplainer(std::move(model), Config{}) {}
+    : LimeExplainer(matrix_model(std::move(model)), Config{}) {}
 
 LimeExplainer::LimeExplainer(ModelFn model, Config config)
+    : LimeExplainer(matrix_model(std::move(model)), config) {}
+
+LimeExplainer::LimeExplainer(MatrixModelFn model)
+    : LimeExplainer(std::move(model), Config{}) {}
+
+LimeExplainer::LimeExplainer(MatrixModelFn model, Config config)
     : model_(std::move(model)), config_(config), rng_(config.seed) {
   EXPLORA_EXPECTS(model_ != nullptr);
   EXPLORA_EXPECTS(config.samples >= 16);
@@ -55,8 +61,28 @@ Vector LimeExplainer::explain(const Vector& x, std::size_t output_index) {
   EXPLORA_EXPECTS(num_features > 0);
   const std::size_t dim = num_features + 1;  // + intercept
 
-  // Weighted normal equations: (Z^T W Z + lambda I) beta = Z^T W y, where
-  // each row of Z is [1, perturbation...] and W the locality kernel.
+  // Phase 1: draw every perturbation up front (the RNG stream is exactly
+  // the per-sample order the old interleaved loop consumed) and hand the
+  // whole probe batch to the model as one matrix — one fused GEMM sweep
+  // per layer instead of `samples` single-row calls.
+  ml::Matrix probes(config_.samples, num_features);
+  Vector distance_sq(config_.samples, 0.0);
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    double* probe = probes.data().data() + s * num_features;
+    for (std::size_t f = 0; f < num_features; ++f) {
+      const double delta = rng_.normal(0.0, config_.perturbation_sigma);
+      probe[f] = x[f] + delta;
+      distance_sq[s] += delta * delta;
+    }
+  }
+  const ml::Matrix outputs = model_(probes);
+  EXPLORA_ASSERT(outputs.rows() == config_.samples);
+  EXPLORA_EXPECTS(output_index < outputs.cols());
+  evaluations_ += config_.samples;
+
+  // Phase 2: accumulate the weighted normal equations in sample order —
+  // (Z^T W Z + lambda I) beta = Z^T W y, each row of Z = [1, probe...] and
+  // W the locality kernel — identical arithmetic to the old fused loop.
   std::vector<Vector> normal(dim, Vector(dim, 0.0));
   Vector rhs(dim, 0.0);
   double weighted_y_sum = 0.0;
@@ -71,24 +97,15 @@ Vector LimeExplainer::explain(const Vector& x, std::size_t output_index) {
   samples.reserve(config_.samples);
 
   for (std::size_t s = 0; s < config_.samples; ++s) {
-    Vector probe(num_features);
-    double distance_sq = 0.0;
-    for (std::size_t f = 0; f < num_features; ++f) {
-      const double delta = rng_.normal(0.0, config_.perturbation_sigma);
-      probe[f] = x[f] + delta;
-      distance_sq += delta * delta;
-    }
-    const Vector out = model_(probe);
-    ++evaluations_;
-    EXPLORA_EXPECTS(output_index < out.size());
+    const auto probe = probes.data().subspan(s * num_features, num_features);
     const double weight = std::exp(
-        -distance_sq / (config_.kernel_width * config_.kernel_width));
+        -distance_sq[s] / (config_.kernel_width * config_.kernel_width));
 
     Sample sample;
     sample.z.reserve(dim);
     sample.z.push_back(1.0);
     sample.z.insert(sample.z.end(), probe.begin(), probe.end());
-    sample.y = out[output_index];
+    sample.y = outputs(s, output_index);
     sample.weight = weight;
 
     for (std::size_t i = 0; i < dim; ++i) {

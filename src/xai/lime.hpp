@@ -8,7 +8,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
-#include "xai/shap.hpp"  // ModelFn
+#include "xai/shap.hpp"  // ModelFn / MatrixModelFn
 
 namespace explora::xai {
 
@@ -25,6 +25,11 @@ class LimeExplainer {
 
   LimeExplainer(ModelFn model, Config config);
   explicit LimeExplainer(ModelFn model);
+  /// Matrix-batched variant: all perturbation probes of one explanation
+  /// reach the model as a single matrix (e.g. xai::batch_model(mlp) or
+  /// xai::head_probability_model) — one fused GEMM sweep per layer.
+  LimeExplainer(MatrixModelFn model, Config config);
+  explicit LimeExplainer(MatrixModelFn model);
 
   /// Local attributions (surrogate slope per feature) of output
   /// `output_index` at `x`. The surrogate also has an intercept, exposed
@@ -41,7 +46,7 @@ class LimeExplainer {
   }
 
  private:
-  ModelFn model_;
+  MatrixModelFn model_;
   Config config_;
   common::Rng rng_;
   double intercept_ = 0.0;

@@ -30,38 +30,61 @@ double shapley_weight(std::size_t num_features,
          factorial(num_features);
 }
 
-BatchModelFn batch_model(const ml::Mlp& mlp) {
-  return [&mlp](const std::vector<Vector>& probes) {
-    ml::Matrix inputs(probes.size(), probes.front().size());
-    for (std::size_t r = 0; r < probes.size(); ++r) {
-      std::copy(probes[r].begin(), probes[r].end(),
-                inputs.data().begin() +
-                    static_cast<std::ptrdiff_t>(r * inputs.cols()));
+MatrixModelFn batch_model(const ml::Mlp& mlp) {
+  return [&mlp](const ml::Matrix& probes) { return mlp.forward_batch(probes); };
+}
+
+MatrixModelFn matrix_model(ModelFn model) {
+  return [model = std::move(model)](const ml::Matrix& probes) {
+    ml::Matrix outputs;
+    Vector probe(probes.cols());
+    for (std::size_t r = 0; r < probes.rows(); ++r) {
+      const auto row = probes.data().subspan(r * probes.cols(), probes.cols());
+      probe.assign(row.begin(), row.end());
+      const Vector out = model(probe);
+      if (r == 0) outputs = ml::Matrix(probes.rows(), out.size());
+      EXPLORA_ASSERT(out.size() == outputs.cols());
+      std::copy(out.begin(), out.end(),
+                outputs.data().begin() +
+                    static_cast<std::ptrdiff_t>(r * outputs.cols()));
     }
-    const ml::Matrix outputs = mlp.forward_batch(inputs);
-    std::vector<Vector> rows(outputs.rows());
-    for (std::size_t r = 0; r < outputs.rows(); ++r) {
-      const auto row = outputs.data().subspan(r * outputs.cols(),
-                                              outputs.cols());
-      rows[r].assign(row.begin(), row.end());
-    }
-    return rows;
+    return outputs;
   };
 }
+
+namespace {
+
+/// Adapts a vector-of-rows batched model to the matrix entry point.
+[[nodiscard]] MatrixModelFn wrap_row_batched(BatchModelFn model) {
+  return [model = std::move(model)](const ml::Matrix& probes) {
+    std::vector<Vector> rows(probes.rows());
+    for (std::size_t r = 0; r < probes.rows(); ++r) {
+      const auto row = probes.data().subspan(r * probes.cols(), probes.cols());
+      rows[r].assign(row.begin(), row.end());
+    }
+    const std::vector<Vector> outputs = model(rows);
+    EXPLORA_ASSERT(outputs.size() == probes.rows());
+    ml::Matrix result(outputs.size(),
+                      outputs.empty() ? 0 : outputs.front().size());
+    for (std::size_t r = 0; r < outputs.size(); ++r) {
+      EXPLORA_ASSERT(outputs[r].size() == result.cols());
+      std::copy(outputs[r].begin(), outputs[r].end(),
+                result.data().begin() +
+                    static_cast<std::ptrdiff_t>(r * result.cols()));
+    }
+    return result;
+  };
+}
+
+}  // namespace
 
 ShapExplainer::ShapExplainer(ModelFn model, std::vector<Vector> background)
     : ShapExplainer(std::move(model), std::move(background), Config{}) {}
 
 ShapExplainer::ShapExplainer(ModelFn model, std::vector<Vector> background,
                              Config config)
-    : ShapExplainer(
-          [model = std::move(model)](const std::vector<Vector>& probes) {
-            std::vector<Vector> outputs;
-            outputs.reserve(probes.size());
-            for (const Vector& probe : probes) outputs.push_back(model(probe));
-            return outputs;
-          },
-          std::move(background), config) {}
+    : ShapExplainer(matrix_model(std::move(model)), std::move(background),
+                    config) {}
 
 ShapExplainer::ShapExplainer(BatchModelFn model,
                              std::vector<Vector> background)
@@ -69,6 +92,15 @@ ShapExplainer::ShapExplainer(BatchModelFn model,
 
 ShapExplainer::ShapExplainer(BatchModelFn model, std::vector<Vector> background,
                              Config config)
+    : ShapExplainer(wrap_row_batched(std::move(model)), std::move(background),
+                    config) {}
+
+ShapExplainer::ShapExplainer(MatrixModelFn model,
+                             std::vector<Vector> background)
+    : ShapExplainer(std::move(model), std::move(background), Config{}) {}
+
+ShapExplainer::ShapExplainer(MatrixModelFn model,
+                             std::vector<Vector> background, Config config)
     : model_(std::move(model)),
       background_(std::move(background)),
       config_(config) {
@@ -95,51 +127,91 @@ ShapExplainer::ShapExplainer(BatchModelFn model, std::vector<Vector> background,
     }
     background_ = std::move(reduced);
   }
+  // Kernel-ready copy of the (possibly subsampled) background, built once:
+  // base_values() feeds it straight to the model and coalition probes copy
+  // rows out of contiguous storage.
+  background_matrix_ = ml::Matrix(background_.size(), background_[0].size());
+  for (std::size_t b = 0; b < background_.size(); ++b) {
+    EXPLORA_EXPECTS(background_[b].size() == background_matrix_.cols());
+    std::copy(background_[b].begin(), background_[b].end(),
+              background_matrix_.data().begin() +
+                  static_cast<std::ptrdiff_t>(b * background_matrix_.cols()));
+  }
 }
 
-Vector ShapExplainer::coalition_value(const Vector& x,
-                                      std::uint32_t coalition_mask) {
-  // One probe per background row; the whole coalition batch goes through
-  // the model in a single call so batched backends amortize per-call work.
-  std::vector<Vector> probes(background_.size());
-  for (std::size_t b = 0; b < background_.size(); ++b) {
-    const Vector& row = background_[b];
-    EXPLORA_EXPECTS(row.size() == x.size());
-    Vector& probe = probes[b];
-    probe.resize(x.size());
-    for (std::size_t f = 0; f < x.size(); ++f) {
-      probe[f] = (coalition_mask >> f) & 1u ? x[f] : row[f];
-    }
-  }
-  const std::vector<Vector> outputs = model_(probes);
-  EXPLORA_ASSERT(outputs.size() == background_.size());
-  evaluations_.fetch_add(background_.size(), std::memory_order_relaxed);
-  tm_model_evals_->add(background_.size());
+ml::Matrix ShapExplainer::acquire_scratch() {
+  common::MutexLock lock(scratch_mutex_);
+  if (scratch_pool_.empty()) return {};
+  ml::Matrix scratch = std::move(scratch_pool_.back());
+  scratch_pool_.pop_back();
+  return scratch;
+}
 
-  Vector accumulator = outputs.front();
-  for (std::size_t b = 1; b < outputs.size(); ++b) {
-    for (std::size_t i = 0; i < accumulator.size(); ++i) {
-      accumulator[i] += outputs[b][i];
+void ShapExplainer::release_scratch(ml::Matrix&& scratch) {
+  common::MutexLock lock(scratch_mutex_);
+  scratch_pool_.push_back(std::move(scratch));
+}
+
+std::vector<Vector> ShapExplainer::coalition_values(
+    const Vector& x, std::span<const std::uint32_t> masks) {
+  const std::size_t bg = background_.size();
+  const std::size_t rows = masks.size() * bg;
+  EXPLORA_EXPECTS(background_matrix_.cols() == x.size());
+
+  // All probes of the whole coalition chunk go through the model as ONE
+  // matrix — one fused GEMM sweep per layer instead of a model call per
+  // coalition (let alone per probe row).
+  ml::Matrix probes = acquire_scratch();
+  probes.resize(rows, x.size());
+  for (std::size_t m = 0; m < masks.size(); ++m) {
+    const std::uint32_t mask = masks[m];
+    for (std::size_t b = 0; b < bg; ++b) {
+      const double* row = background_matrix_.data().data() + b * x.size();
+      double* probe = probes.data().data() + (m * bg + b) * x.size();
+      for (std::size_t f = 0; f < x.size(); ++f) {
+        probe[f] = (mask >> f) & 1u ? x[f] : row[f];
+      }
     }
   }
-  for (double& v : accumulator) {
-    v /= static_cast<double>(background_.size());
+  const ml::Matrix outputs = model_(probes);
+  EXPLORA_ASSERT(outputs.rows() == rows);
+  release_scratch(std::move(probes));
+  evaluations_.fetch_add(rows, std::memory_order_relaxed);
+  tm_model_evals_->add(rows);
+
+  // Per-coalition background average, accumulated in background order —
+  // the exact summation the old per-coalition path ran, so values are
+  // bit-identical to pre-batching results.
+  std::vector<Vector> values(masks.size());
+  const std::size_t num_outputs = outputs.cols();
+  for (std::size_t m = 0; m < masks.size(); ++m) {
+    const auto first =
+        outputs.data().subspan(m * bg * num_outputs, num_outputs);
+    Vector accumulator(first.begin(), first.end());
+    for (std::size_t b = 1; b < bg; ++b) {
+      const double* row =
+          outputs.data().data() + (m * bg + b) * num_outputs;
+      for (std::size_t i = 0; i < num_outputs; ++i) accumulator[i] += row[i];
+    }
+    for (double& v : accumulator) v /= static_cast<double>(bg);
+    values[m] = std::move(accumulator);
   }
-  return accumulator;
+  return values;
 }
 
 Vector ShapExplainer::base_values() {
   common::MutexLock lock(base_mutex_);
   if (base_cache_) return *base_cache_;
-  const std::vector<Vector> outputs = model_(background_);
-  EXPLORA_ASSERT(outputs.size() == background_.size());
+  const ml::Matrix outputs = model_(background_matrix_);
+  EXPLORA_ASSERT(outputs.rows() == background_.size());
   evaluations_.fetch_add(background_.size(), std::memory_order_relaxed);
   tm_model_evals_->add(background_.size());
-  Vector accumulator = outputs.front();
-  for (std::size_t b = 1; b < outputs.size(); ++b) {
-    for (std::size_t i = 0; i < accumulator.size(); ++i) {
-      accumulator[i] += outputs[b][i];
-    }
+  const std::size_t num_outputs = outputs.cols();
+  const auto first = outputs.data().subspan(0, num_outputs);
+  Vector accumulator(first.begin(), first.end());
+  for (std::size_t b = 1; b < outputs.rows(); ++b) {
+    const double* row = outputs.data().data() + b * num_outputs;
+    for (std::size_t i = 0; i < num_outputs; ++i) accumulator[i] += row[i];
   }
   for (double& v : accumulator) {
     v /= static_cast<double>(background_.size());
@@ -153,18 +225,27 @@ std::vector<Vector> ShapExplainer::explain_exact(const Vector& x) {
   EXPLORA_EXPECTS(num_features > 0 && num_features <= 20);
 
   // Evaluate v(S) for every coalition once. Coalition values are mutually
-  // independent, so the 2^N evaluations fan out across the pool; each
-  // slot is written by exactly one chunk and the per-coalition arithmetic
-  // is untouched, keeping results identical to a serial run.
+  // independent, so the 2^N evaluations fan out across the pool in chunks
+  // of kCoalitionGrain coalitions; each chunk assembles its probes into
+  // one matrix and makes ONE model call (grain x |background| rows per
+  // GEMM sweep), bounding memory while keeping the kernels fed. Each slot
+  // is written by exactly one chunk and the per-coalition arithmetic is
+  // untouched, keeping results identical to a serial run.
+  constexpr std::size_t kCoalitionGrain = 16;
   const std::uint32_t num_coalitions = 1u << num_features;
   std::vector<Vector> values(num_coalitions);
-  pool().parallel_for(0, num_coalitions, /*grain=*/4,
-                      [&](std::size_t begin, std::size_t end) {
-                        for (std::size_t mask = begin; mask < end; ++mask) {
-                          values[mask] = coalition_value(
-                              x, static_cast<std::uint32_t>(mask));
-                        }
-                      });
+  pool().parallel_for(
+      0, num_coalitions, kCoalitionGrain,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::uint32_t> masks(end - begin);
+        for (std::size_t i = 0; i < masks.size(); ++i) {
+          masks[i] = static_cast<std::uint32_t>(begin + i);
+        }
+        std::vector<Vector> chunk = coalition_values(x, masks);
+        for (std::size_t i = 0; i < masks.size(); ++i) {
+          values[begin + i] = std::move(chunk[i]);
+        }
+      });
   const std::size_t num_outputs = values[0].size();
 
   // phi_i = sum_S |S|! (N-|S|-1)! / N! * (v(S u {i}) - v(S)), i not in S.
@@ -224,16 +305,24 @@ std::vector<Vector> ShapExplainer::explain_sampling(const Vector& x) {
         for (std::size_t i = 0; i < num_features; ++i) order[i] = i;
         rng.shuffle(order);
 
+        // The chain's coalitions are its prefix masks — all known before
+        // any evaluation, so the whole permutation goes through the model
+        // as one batched call.
+        std::vector<std::uint32_t> masks(num_features + 1, 0u);
         std::uint32_t mask = 0;
-        Vector previous = coalition_value(x, mask);
-        Phi local(previous.size(), Vector(num_features, 0.0));
-        for (std::size_t f : order) {
-          mask |= 1u << f;
-          Vector current = coalition_value(x, mask);
+        for (std::size_t i = 0; i < num_features; ++i) {
+          mask |= 1u << order[i];
+          masks[i + 1] = mask;
+        }
+        const std::vector<Vector> values = coalition_values(x, masks);
+        Phi local(values[0].size(), Vector(num_features, 0.0));
+        for (std::size_t i = 0; i < num_features; ++i) {
+          const Vector& current = values[i + 1];
+          const Vector& previous = values[i];
+          const std::size_t f = order[i];
           for (std::size_t o = 0; o < local.size(); ++o) {
             local[o][f] += current[o] - previous[o];
           }
-          previous = std::move(current);
         }
         return local;
       },

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -54,10 +55,22 @@ using ModelFn = std::function<Vector(const Vector&)>;
 using BatchModelFn =
     std::function<std::vector<Vector>(const std::vector<Vector>&)>;
 
-/// Wraps an Mlp into a BatchModelFn backed by Mlp::forward_batch, so a
-/// coalition's whole background batch goes through the network at once.
+/// Matrix-batched black-box model — the explainer's native entry point:
+/// one probe per input row, one output row per probe, no per-row vector
+/// allocations on either side. The whole coalition chunk (many coalitions
+/// x |background| rows) reaches the model as a single matrix, which the
+/// blocked GEMM backends turn into one kernel sweep. Must be callable
+/// concurrently from several threads.
+using MatrixModelFn = std::function<ml::Matrix(const ml::Matrix&)>;
+
+/// Wraps an Mlp into a MatrixModelFn backed by Mlp::forward_batch, so a
+/// whole chunk of coalition probes goes through the network at once.
 /// The Mlp must outlive the returned callable.
-[[nodiscard]] BatchModelFn batch_model(const ml::Mlp& mlp);
+[[nodiscard]] MatrixModelFn batch_model(const ml::Mlp& mlp);
+
+/// Adapts a per-row model to the matrix-batched entry point (row-by-row
+/// evaluation; the fallback for truly black-box callables).
+[[nodiscard]] MatrixModelFn matrix_model(ModelFn model);
 
 class ShapExplainer {
  public:
@@ -78,10 +91,16 @@ class ShapExplainer {
   ///        features; at least one row.
   ShapExplainer(ModelFn model, std::vector<Vector> background);
   ShapExplainer(ModelFn model, std::vector<Vector> background, Config config);
-  /// Batched variant: `model` receives the whole probe batch of one
-  /// coalition (|background| rows) per call.
+  /// Batched variant: `model` receives whole probe batches (one coalition
+  /// = |background| rows per inner vector batch).
   ShapExplainer(BatchModelFn model, std::vector<Vector> background);
   ShapExplainer(BatchModelFn model, std::vector<Vector> background,
+                Config config);
+  /// Matrix-batched variant (native): `model` receives one matrix holding
+  /// a whole chunk of coalition probes and returns one output row per
+  /// probe row.
+  ShapExplainer(MatrixModelFn model, std::vector<Vector> background);
+  ShapExplainer(MatrixModelFn model, std::vector<Vector> background,
                 Config config);
 
   /// Shapley values of every feature for output `output_index` at `x`.
@@ -105,18 +124,27 @@ class ShapExplainer {
   [[nodiscard]] Vector base_values();
 
  private:
-  /// v(S): expected model output with features in S taken from x and the
-  /// rest marginalized over the background. Thread-safe.
-  [[nodiscard]] Vector coalition_value(const Vector& x,
-                                       std::uint32_t coalition_mask);
+  /// Batched v(S): one fused model call for all `masks`. Result i is the
+  /// expected model output with features in masks[i] taken from x and the
+  /// rest marginalized over the background (averaged in background order,
+  /// exactly as the old per-coalition path did). Thread-safe: the probe
+  /// matrix comes from the explainer-owned scratch pool.
+  [[nodiscard]] std::vector<Vector> coalition_values(
+      const Vector& x, std::span<const std::uint32_t> masks);
   [[nodiscard]] std::vector<Vector> explain_exact(const Vector& x);
   [[nodiscard]] std::vector<Vector> explain_sampling(const Vector& x);
   [[nodiscard]] common::ThreadPool& pool() const noexcept {
     return config_.pool != nullptr ? *config_.pool : common::global_pool();
   }
 
-  BatchModelFn model_;
+  /// Reusable probe matrices (hoisted out of the per-coalition hot path);
+  /// workers check one out, fill + evaluate it, and return it.
+  [[nodiscard]] ml::Matrix acquire_scratch();
+  void release_scratch(ml::Matrix&& scratch);
+
+  MatrixModelFn model_;
   std::vector<Vector> background_;
+  ml::Matrix background_matrix_;  ///< same rows, kernel-ready layout
   Config config_;
   std::atomic<std::uint64_t> evaluations_ = 0;
 
@@ -125,6 +153,12 @@ class ShapExplainer {
   common::Mutex base_mutex_{"shap.base_cache",
                             common::lockrank::kShapBaseCache};
   std::optional<Vector> base_cache_ EXPLORA_GUARDED_BY(base_mutex_);
+
+  // Scratch freelist; acquired briefly from pool workers that hold no
+  // other lock (rank sits above the pool locks, below telemetry).
+  common::Mutex scratch_mutex_{"shap.probe_scratch",
+                               common::lockrank::kShapScratch};
+  std::vector<ml::Matrix> scratch_pool_ EXPLORA_GUARDED_BY(scratch_mutex_);
 
   // Telemetry (xai.shap.*), bound at construction. model_evals mirrors
   // evaluations_ into snapshots (atomic adds from pool workers, so totals

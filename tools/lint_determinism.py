@@ -29,6 +29,13 @@ artifacts. This lint bans the constructs that historically break it:
   telemetry-unordered  unordered containers anywhere in the telemetry path -
                      snapshots serialise by iterating their containers, so
                      even declaring one risks ordering leaking into goldens
+  simd-intrinsic     raw SIMD intrinsics (immintrin.h/arm_neon.h, _mm*/__m*,
+                     NEON vector ops) outside the approved GEMM kernel files
+                     (src/ml/gemm_<isa>.cpp) - ad-hoc vectorization is how
+                     FMA/reassociation sneaks in and silently breaks the
+                     byte-identity contract of DESIGN.md §10; new kernels
+                     must live in an approved file, compiled with
+                     -ffp-contract=off and covered by tests/test_gemm.cpp
 
 A finding on a line carrying `// det-ok: <rule> (<reason>)` is suppressed;
 the marker documents why the construct is safe at that site (e.g. an
@@ -63,6 +70,15 @@ RULES = {
 }
 
 DET_OK = re.compile(r"//\s*det-ok:\s*([\w-]+)?")
+
+# SIMD kernels live only in these files (runtime-dispatched by ml/gemm.cpp,
+# pinned to -ffp-contract=off); intrinsics anywhere else are findings.
+KERNEL_FILE = re.compile(r"gemm_(?:avx2|avx512|neon|sve|rvv)\.cpp$")
+SIMD_INTRINSIC = re.compile(
+    r"\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[di]?\b"
+    r"|\bimmintrin\.h\b|\barm_neon\.h\b|\bfloat64x\d_t\b"
+    r"|\bv(?:ld1q|st1q|dupq|mulq|addq|fmaq)_f64\b"
+)
 
 CONTRACT_MACRO = re.compile(r"\bEXPLORA_(?:EXPECTS|ENSURES|ASSERT|AUDIT)(_MSG)?\s*\(")
 
@@ -180,11 +196,20 @@ RANGE_FOR = re.compile(r"for\s*\(\s*[^;:()]*?:\s*([\w.\->]+)\s*\)")
 
 
 def lint_text(raw: str, code: str, unordered_names: set[str],
-              fault_path: bool = False, telemetry_path: bool = False):
+              fault_path: bool = False, telemetry_path: bool = False,
+              kernel_file: bool = False):
     """All findings for one stripped source `code` (raw kept for det-ok)."""
     raw_lines = raw.splitlines()
     code_lines = code.splitlines()
     findings = []
+
+    if not kernel_file:
+        for match in SIMD_INTRINSIC.finditer(code):
+            lineno = line_of(code, match.start())
+            if not allowed(raw_lines, lineno, "simd-intrinsic"):
+                findings.append(
+                    (lineno, "simd-intrinsic", match.group(0).strip())
+                )
 
     if telemetry_path:
         for rule, pattern in TELEMETRY_RULES.items():
@@ -271,6 +296,17 @@ def self_test() -> int:
     registry.set_now(now_);
     // comment naming steady_clock is fine
     """
+    simd_bad = """
+    #include <immintrin.h>
+    __m256d acc = _mm256_setzero_pd();
+    acc = _mm256_fmadd_pd(a, b, acc);
+    float64x2_t lanes = vld1q_f64(ptr);
+    """
+    simd_good = """
+    // a comment naming _mm256_add_pd( is fine
+    const char* doc = "__m512d lives in gemm_avx512.cpp";
+    matrix.multiply_batch(x, y);
+    """
     bad_code = strip_comments_and_strings(bad)
     bad_findings = lint_text(bad, bad_code, declared_unordered_names(bad_code))
     good_code = strip_comments_and_strings(good)
@@ -288,6 +324,13 @@ def self_test() -> int:
     telemetry_good_code = strip_comments_and_strings(telemetry_good)
     telemetry_good_findings = lint_text(telemetry_good, telemetry_good_code,
                                         set(), telemetry_path=True)
+    simd_bad_code = strip_comments_and_strings(simd_bad)
+    simd_bad_findings = lint_text(simd_bad, simd_bad_code, set())
+    simd_good_code = strip_comments_and_strings(simd_good)
+    simd_good_findings = lint_text(simd_good, simd_good_code, set())
+    # The same bad sample inside an approved kernel file is exempt.
+    simd_kernel_findings = lint_text(simd_bad, simd_bad_code, set(),
+                                     kernel_file=True)
     expect_rules = {
         "banned-random", "wall-clock", "float-eq",
         "macro-side-effect", "unordered-iter",
@@ -301,9 +344,14 @@ def self_test() -> int:
     telemetry_rules = {rule for _, rule, _ in telemetry_bad_findings}
     ok = ok and telemetry_rules == {"telemetry-clock", "telemetry-unordered"}
     ok = ok and not telemetry_good_findings
-    bad_findings = bad_findings + fault_bad_findings + telemetry_bad_findings
+    ok = ok and {rule for _, rule, _ in simd_bad_findings} == {"simd-intrinsic"}
+    ok = ok and len(simd_bad_findings) >= 4
+    ok = ok and not simd_good_findings
+    ok = ok and not simd_kernel_findings
+    bad_findings = (bad_findings + fault_bad_findings + telemetry_bad_findings
+                    + simd_bad_findings)
     good_findings = (good_findings + fault_good_findings
-                     + telemetry_good_findings)
+                     + telemetry_good_findings + simd_good_findings)
     if not ok:
         print("self-test FAILED")
         print("  bad findings:", sorted(bad_findings))
@@ -348,9 +396,10 @@ def main() -> int:
     for path in files:
         fault_path = bool(FAULT_PATH_FILE.search(path.name))
         telemetry_path = bool(TELEMETRY_PATH_FILE.search(path.name))
+        kernel_file = bool(KERNEL_FILE.search(path.name))
         for lineno, rule, snippet in lint_text(raws[path], stripped[path],
                                                unordered_names, fault_path,
-                                               telemetry_path):
+                                               telemetry_path, kernel_file):
             rel = path.relative_to(root)
             print(f"{rel}:{lineno}: [{rule}] {snippet}")
             total += 1
