@@ -41,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/analysis_annotations.hpp"
 #include "common/thread_annotations.hpp"
 
 #ifndef EXPLORA_TELEMETRY_LEVEL
@@ -228,7 +229,7 @@ class LocalHistogram {
       : target_(target),
         buckets_(target != nullptr ? target->bounds().size() + 1 : 0, 0) {}
 
-  void observe(std::int64_t value) noexcept {
+  EXPLORA_REALTIME void observe(std::int64_t value) noexcept {
 #if EXPLORA_TELEMETRY_LEVEL >= 1
     if (!enabled()) return;
     const auto& bounds = target_->bounds();
@@ -244,7 +245,7 @@ class LocalHistogram {
 #endif
   }
 
-  void flush() noexcept {
+  EXPLORA_REALTIME void flush() noexcept {
 #if EXPLORA_TELEMETRY_LEVEL >= 1
     if (count_ == 0) return;
     target_->observe_batch(buckets_, count_, sum_, min_, max_);

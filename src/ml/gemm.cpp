@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/analysis_annotations.hpp"
 #include "common/contracts.hpp"
 
 namespace explora::ml::gemm {
@@ -25,9 +26,10 @@ const char* to_string(Backend backend) noexcept {
 
 namespace detail {
 
-void scalar_kernel(const double* w, std::size_t out, std::size_t in,
-                   const double* x, std::size_t batch, double* y,
-                   const double* bias, Epilogue epilogue) {
+EXPLORA_REALTIME void scalar_kernel(const double* w, std::size_t out,
+                                    std::size_t in, const double* x,
+                                    std::size_t batch, double* y,
+                                    const double* bias, Epilogue epilogue) {
   for (std::size_t b = 0; b < batch; ++b) {
     const double* row_in = x + b * in;
     double* row_out = y + b * out;
@@ -55,9 +57,10 @@ void scalar_kernel(const double* w, std::size_t out, std::size_t in,
   }
 }
 
-void apply_epilogue(double* dst, const double* acc, const double* bias,
-                    std::size_t r0, std::size_t valid,
-                    Epilogue epilogue) noexcept {
+EXPLORA_REALTIME void apply_epilogue(double* dst, const double* acc,
+                                     const double* bias, std::size_t r0,
+                                     std::size_t valid,
+                                     Epilogue epilogue) noexcept {
   switch (epilogue) {
     case Epilogue::kNone:
       std::memcpy(dst, acc, valid * sizeof(double));
@@ -178,8 +181,9 @@ bool set_backend(Backend backend) noexcept {
   return true;
 }
 
-void run(const double* w, std::size_t out, std::size_t in, const double* x,
-         std::size_t batch, double* y, const double* bias, Epilogue epilogue) {
+EXPLORA_REALTIME void run(const double* w, std::size_t out, std::size_t in,
+                          const double* x, std::size_t batch, double* y,
+                          const double* bias, Epilogue epilogue) {
   EXPLORA_EXPECTS(bias != nullptr || epilogue == Epilogue::kNone);
   if (batch == 0 || out == 0) return;
   switch (active_backend()) {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/analysis_annotations.hpp"
 #include "common/contracts.hpp"
 
 namespace explora::netsim {
@@ -11,19 +12,23 @@ namespace explora::netsim {
 namespace {
 
 /// Serves one PRB worth of data to a UE; returns bytes actually sent.
-std::uint64_t serve_one_prb(Ue& ue) {
+EXPLORA_REALTIME std::uint64_t serve_one_prb(Ue& ue) {
   return ue.serve(ue.channel().bytes_per_prb());
 }
 
-/// Collects the subset of UEs with buffered data.
-std::vector<Ue*> backlogged(std::span<Ue*> ues) {
-  std::vector<Ue*> out;
-  out.reserve(ues.size());
+/// Collects the subset of UEs with buffered data into `out`, a scratch
+/// vector owned by the scheduler: its capacity survives across TTIs, so
+/// after the first few TTIs of a configuration the grant loop runs
+/// allocation-free.
+EXPLORA_REALTIME void collect_backlogged(std::span<Ue*> ues,
+                                         std::vector<Ue*>& out) {
+  out.clear();
   for (Ue* ue : ues) {
     EXPLORA_EXPECTS(ue != nullptr);
+    // hotpath-ok: scratch retains capacity across TTIs; grows only when
+    // the attached-UE count grows (attach/detach, not the TTI loop).
     if (ue->has_data()) out.push_back(ue);
   }
-  return out;
 }
 
 }  // namespace
@@ -46,8 +51,8 @@ Scheduler::Scheduler() {
 
 Scheduler::~Scheduler() { flush_telemetry(); }
 
-void Scheduler::record_grants(std::uint32_t granted,
-                              std::uint32_t budget) noexcept {
+EXPLORA_REALTIME void Scheduler::record_grants(std::uint32_t granted,
+                                               std::uint32_t budget) noexcept {
   // Plain-integer accumulation on the TTI hot path; flush_telemetry()
   // folds it into the shared atomics once per report window. Gated like
   // every other record call so runtime-disabled windows stay unrecorded.
@@ -107,9 +112,10 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerPolicy policy,
   return nullptr;
 }
 
-void RoundRobinScheduler::schedule_tti(std::span<Ue*> ues,
-                                       std::uint32_t prb_budget) {
-  auto active = backlogged(ues);
+EXPLORA_REALTIME void RoundRobinScheduler::schedule_tti(
+    std::span<Ue*> ues, std::uint32_t prb_budget) {
+  auto& active = active_scratch_;
+  collect_backlogged(ues, active);
   if (active.empty() || prb_budget == 0) {
     record_grants(0, prb_budget);
     return;
@@ -141,9 +147,10 @@ void RoundRobinScheduler::schedule_tti(std::span<Ue*> ues,
   next_ = (next_ + 1) % active.size();
 }
 
-void WaterfillingScheduler::schedule_tti(std::span<Ue*> ues,
-                                         std::uint32_t prb_budget) {
-  auto active = backlogged(ues);
+EXPLORA_REALTIME void WaterfillingScheduler::schedule_tti(
+    std::span<Ue*> ues, std::uint32_t prb_budget) {
+  auto& active = active_scratch_;
+  collect_backlogged(ues, active);
   if (active.empty() || prb_budget == 0) {
     record_grants(0, prb_budget);
     return;
@@ -174,10 +181,14 @@ ProportionalFairScheduler::ProportionalFairScheduler(double alpha)
   EXPLORA_EXPECTS(alpha > 0.0 && alpha <= 1.0);
 }
 
-void ProportionalFairScheduler::schedule_tti(std::span<Ue*> ues,
-                                             std::uint32_t prb_budget) {
-  auto active = backlogged(ues);
-  std::vector<double> served_bits(active.size(), 0.0);
+EXPLORA_REALTIME void ProportionalFairScheduler::schedule_tti(
+    std::span<Ue*> ues, std::uint32_t prb_budget) {
+  auto& active = active_scratch_;
+  collect_backlogged(ues, active);
+  auto& served_bits = served_bits_scratch_;
+  // hotpath-ok: scratch retains capacity across TTIs; grows only when the
+  // attached-UE count grows (attach/detach, not the TTI loop).
+  served_bits.assign(active.size(), 0.0);
   std::uint32_t granted = 0;
   if (!active.empty() && prb_budget > 0) {
     std::uint32_t remaining = prb_budget;

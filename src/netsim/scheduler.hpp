@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "common/telemetry.hpp"
 #include "netsim/types.hpp"
@@ -46,6 +47,13 @@ class Scheduler {
   /// Telemetry hook: every schedule_tti implementation reports how many of
   /// its budgeted PRBs it actually granted this TTI.
   void record_grants(std::uint32_t granted, std::uint32_t budget) noexcept;
+
+  /// Per-TTI backlogged-UE scratch shared by every policy. Hoisted into a
+  /// member so the grant loop never allocates in steady state: the vector
+  /// keeps its capacity across TTIs and only grows when UEs attach
+  /// (verified by the EXPLORA_REALTIME contract on schedule_tti, see
+  /// tools/lint_hotpath.py / DESIGN.md §11).
+  std::vector<Ue*> active_scratch_;
 
  private:
   /// prb_per_tti bucket upper bounds (+1 implicit overflow bucket).
@@ -108,6 +116,9 @@ class ProportionalFairScheduler final : public Scheduler {
 
  private:
   double alpha_;
+  /// Per-TTI served-bits tally, one slot per backlogged UE; member scratch
+  /// for the same no-steady-state-allocation reason as active_scratch_.
+  std::vector<double> served_bits_scratch_;
 };
 
 }  // namespace explora::netsim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/analysis_annotations.hpp"
 #include "common/contracts.hpp"
 
 namespace explora::netsim {
@@ -18,7 +19,7 @@ Ue::Ue(std::uint32_t id, Slice slice, UeChannel channel,
   EXPLORA_EXPECTS(buffer_capacity_bytes > 0);
 }
 
-void Ue::begin_tti(Tick now) {
+EXPLORA_REALTIME void Ue::begin_tti(Tick now) {
   channel_.advance();
   const ArrivalBatch batch = traffic_->arrivals(now);
   if (batch.packets == 0) return;
@@ -29,12 +30,14 @@ void Ue::begin_tti(Tick now) {
       window_.dropped_bytes += packet_size;
       continue;
     }
+    // hotpath-ok: deque block allocation is amortized and bounded by the
+    // UE buffer cap; serve() recycles blocks so steady state stays flat.
     packet_queue_.push_back(packet_size);
     buffer_bytes_ += packet_size;
   }
 }
 
-std::uint64_t Ue::serve(std::uint64_t bytes) {
+EXPLORA_REALTIME std::uint64_t Ue::serve(std::uint64_t bytes) {
   std::uint64_t served = 0;
   while (bytes > 0 && !packet_queue_.empty()) {
     std::uint32_t& head = packet_queue_.front();

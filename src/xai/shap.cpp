@@ -5,6 +5,7 @@
 #include <bit>
 #include <utility>
 
+#include "common/analysis_annotations.hpp"
 #include "common/contracts.hpp"
 #include "ml/nn.hpp"
 
@@ -152,7 +153,7 @@ void ShapExplainer::release_scratch(ml::Matrix&& scratch) {
   scratch_pool_.push_back(std::move(scratch));
 }
 
-std::vector<Vector> ShapExplainer::coalition_values(
+EXPLORA_NONBLOCKING std::vector<Vector> ShapExplainer::coalition_values(
     const Vector& x, std::span<const std::uint32_t> masks) {
   const std::size_t bg = background_.size();
   const std::size_t rows = masks.size() * bg;
@@ -161,6 +162,8 @@ std::vector<Vector> ShapExplainer::coalition_values(
   // All probes of the whole coalition chunk go through the model as ONE
   // matrix — one fused GEMM sweep per layer instead of a model call per
   // coalition (let alone per probe row).
+  // hotpath-ok: bounded freelist pop under scratch_mutex_, never held
+  // across a model evaluation; convoying is impossible.
   ml::Matrix probes = acquire_scratch();
   probes.resize(rows, x.size());
   for (std::size_t m = 0; m < masks.size(); ++m) {
@@ -175,6 +178,8 @@ std::vector<Vector> ShapExplainer::coalition_values(
   }
   const ml::Matrix outputs = model_(probes);
   EXPLORA_ASSERT(outputs.rows() == rows);
+  // hotpath-ok: bounded freelist push under scratch_mutex_, never held
+  // across a model evaluation; convoying is impossible.
   release_scratch(std::move(probes));
   evaluations_.fetch_add(rows, std::memory_order_relaxed);
   tm_model_evals_->add(rows);

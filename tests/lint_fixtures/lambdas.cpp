@@ -1,0 +1,28 @@
+// lint_hotpath extraction fixture: lambdas are not definitions of their
+// own - sinks inside a lambda body are attributed to the enclosing
+// function (the lambda runs on the enclosing hot path), and a waived
+// sink seeds no fact.
+#include <vector>
+
+#include "common/analysis_annotations.hpp"
+
+namespace fix {
+
+int with_lambda(std::vector<int>& out) {
+  auto push = [&out](int v) { out.push_back(v); };
+  push(1);
+  return 0;
+}
+
+int clean_lambda(int v) {
+  auto dbl = [](int x) { return x * 2; };
+  return dbl(v);
+}
+
+EXPLORA_REALTIME int hot_waived(std::vector<int>& out) {
+  // hotpath-ok: fixture scratch retains capacity across iterations
+  out.push_back(1);
+  return 1;
+}
+
+}  // namespace fix

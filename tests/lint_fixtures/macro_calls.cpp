@@ -1,0 +1,22 @@
+// lint_hotpath extraction fixture: contract-macro invocations are
+// blanked (their failure paths are not hot-path code - no edge, no
+// fact), while calls wrapped in ordinary macros still extract because
+// the inner call expression survives in the argument list.
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+
+namespace fix {
+
+int expensive() { return static_cast<int>(malloc(8) != nullptr); }
+
+int contract_guarded(int v) {
+  EXPLORA_EXPECTS(expensive() == 1);
+  return v;
+}
+
+#define FIX_RUN(expr) (expr)
+
+int macro_wrapped() { return FIX_RUN(expensive()); }
+
+}  // namespace fix

@@ -1,0 +1,29 @@
+// lint_hotpath extraction fixture: class-inline methods and
+// out-of-line qualified definitions both extract with Class-qualified
+// names, unqualified calls inside methods resolve to siblings, and an
+// annotation binds to the definition it precedes.
+#include <vector>
+
+#include "common/analysis_annotations.hpp"
+
+namespace fix {
+
+class Gadget {
+ public:
+  int quick() const { return state_; }
+  int slow();
+  int staged();
+
+ private:
+  int state_ = 0;
+};
+
+int Gadget::slow() {
+  std::vector<int> tmp(4);
+  tmp[0] = quick();
+  return tmp[0];
+}
+
+EXPLORA_NONBLOCKING int Gadget::staged() { return slow(); }
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// lint_hotpath extraction fixture: overload sets resolve as a
+// conservative union - a call to `scale` picks up facts from EVERY
+// definition sharing the name, so the allocating double overload taints
+// the caller even though the int overload is clean.
+#include <vector>
+
+namespace fix {
+
+int scale(int v) { return v * 2; }
+
+double scale(double v) {
+  double* p = new double(v);
+  double r = *p;
+  delete p;
+  return r;
+}
+
+int caller(int v) { return scale(v); }
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// lint_hotpath extraction fixture: template definitions extract like
+// plain functions and template-argument call syntax (`grow<4>(...)`)
+// still produces a resolvable edge.
+#include <vector>
+
+namespace fix {
+
+template <typename T>
+T combine(T a, T b) {
+  return a + b;
+}
+
+template <int N>
+int grow(std::vector<int>& out) {
+  out.reserve(N);
+  return N;
+}
+
+int use_templates(std::vector<int>& out) {
+  int a = combine<int>(1, 2);
+  return a + grow<4>(out);
+}
+
+}  // namespace fix

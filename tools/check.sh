@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local pre-push correctness gate: builds and tests the repo under the full
-# sanitizer matrix, runs the determinism and concurrency lints, and — when
+# sanitizer matrix, runs the source lints via tools/lint.sh, and — when
 # the respective clang tooling is installed — the clang-tidy pass and the
 # clang thread-safety analysis (`thread-safety` preset). Mirrors
 # .github/workflows/ci.yml so a clean run here means a green CI.
@@ -46,8 +46,9 @@ for preset in "${PRESETS[@]}"; do
   run_step "test:${preset}" ctest --preset "${preset}" -j "$(nproc)"
 done
 
-run_step "lint:determinism" python3 tools/lint_determinism.py --root .
-run_step "lint:concurrency" python3 tools/lint_concurrency.py --root .
+# lint.sh is the single entry point for every source lint (determinism,
+# concurrency, hot-path realtime safety + module layering).
+run_step "lints" tools/lint.sh
 
 if command -v clang++ >/dev/null 2>&1; then
   # Clang proves every EXPLORA_GUARDED_BY member is only touched under its

@@ -35,13 +35,11 @@ Exit status: 0 = clean, 1 = findings, 2 = usage error.
 
 from __future__ import annotations
 
-import argparse
-import pathlib
 import re
 import sys
 
-SCAN_DIRS = ("src", "tools")
-EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+import lintlib
+from lintlib import line_of, statement_span, strip_comments_and_strings
 
 # The annotation layer and the validator beneath it wrap the raw
 # primitives; they are the one place std:: synchronisation types may
@@ -74,59 +72,12 @@ GUARDED = re.compile(r"\bEXPLORA_(?:PT_)?GUARDED_BY\s*\(")
 LOCKRANK = re.compile(r"\block(?:rank)?::k\w+")
 MUTEX_TYPE = re.compile(r"\b(?:common::)?(?:SharedMutex|Mutex)\b")
 
-CONC_OK = re.compile(r"//\s*conc-ok:\s*([\w-]+)?")
+CONC_OK = lintlib.marker_pattern("conc-ok")
 NOT_SHARED = re.compile(r"//\s*not-shared:\s*\S")
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks out comments, string and char literals, preserving line
-    breaks so findings keep their line numbers."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            seg = text[i : j + 2]
-            out.append("".join(ch if ch == "\n" else " " for ch in seg))
-            i = j + 2
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            out.append(" " * (min(j, n - 1) + 1 - i))
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def line_of(code: str, offset: int) -> int:
-    return code.count("\n", 0, offset) + 1
-
-
-def statement_span(code: str, start: int) -> tuple[str, int]:
-    """The text from `start` to the next top-level `;` (declarations wrap
-    across lines, e.g. a member whose rank sits on a continuation line),
-    plus the line number of that terminator."""
-    end = code.find(";", start)
-    end = len(code) if end == -1 else end
-    return code[start:end], line_of(code, end - 1 if end else 0)
-
-
 def conc_allowed(raw_lines: list[str], lineno: int, rule: str) -> bool:
-    line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
-    m = CONC_OK.search(line)
-    return bool(m) and (m.group(1) is None or m.group(1) == rule)
+    return lintlib.marker_allows(raw_lines, lineno, CONC_OK, rule)
 
 
 def not_shared_waived(raw_lines: list[str], first: int, last: int) -> bool:
@@ -246,54 +197,32 @@ def self_test() -> int:
                  == {"unguarded-mutable"})
     ok = ok and len(mutable_bad_findings) == 2
     ok = ok and not good
-    if not ok:
-        print("self-test FAILED")
-        print("  bad findings:", sorted(bad))
-        print("  good findings:", sorted(good))
-        return 1
-    print(f"self-test ok ({len(bad)} expected findings, 0 false positives)")
-    return 0
+    return lintlib.self_test_verdict(ok, bad, good)
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", type=pathlib.Path, default=pathlib.Path("."),
-                        help="repository root (default: cwd)")
-    parser.add_argument("--self-test", action="store_true",
-                        help="run the lint's own positive/negative samples")
-    args = parser.parse_args()
-
+    args = lintlib.standard_parser(__doc__).parse_args()
     if args.self_test:
         return self_test()
 
     root = args.root.resolve()
-    files = sorted(
-        path
-        for scan_dir in SCAN_DIRS
-        for path in (root / scan_dir).rglob("*")
-        if path.suffix in EXTENSIONS
-    )
+    files = lintlib.collect_sources(root)
     if not files:
-        print(f"lint_concurrency: no sources under {root}", file=sys.stderr)
-        return 2
+        return lintlib.no_sources_error("lint_concurrency", root)
 
-    total = 0
+    findings = []
     for path in files:
         rel = path.relative_to(root).as_posix()
         raw = path.read_text(encoding="utf-8")
         code = strip_comments_and_strings(raw)
         for lineno, rule, snippet in lint_text(
                 raw, code, raw_mutex_exempt=rel in RAW_MUTEX_EXEMPT):
-            print(f"{rel}:{lineno}: [{rule}] {snippet}")
-            total += 1
+            findings.append((rel, lineno, rule, snippet))
 
-    if total:
-        print(f"\nlint_concurrency: {total} finding(s) across {len(files)} files")
-        print("suppress a safe site with: // conc-ok: <rule> (<why it is safe>)")
-        print("waive a non-shared mutable with: // not-shared: <reason>")
-        return 1
-    print(f"lint_concurrency: clean ({len(files)} files)")
-    return 0
+    return lintlib.report_findings(
+        "lint_concurrency", findings, len(files),
+        ["suppress a safe site with: // conc-ok: <rule> (<why it is safe>)",
+         "waive a non-shared mutable with: // not-shared: <reason>"])
 
 
 if __name__ == "__main__":

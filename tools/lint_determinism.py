@@ -46,13 +46,11 @@ Exit status: 0 = clean, 1 = findings, 2 = usage error.
 
 from __future__ import annotations
 
-import argparse
-import pathlib
 import re
 import sys
 
-SCAN_DIRS = ("src", "tools")
-EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+import lintlib
+from lintlib import line_of, strip_comments_and_strings
 
 RULES = {
     "banned-random": re.compile(
@@ -69,7 +67,7 @@ RULES = {
     ),
 }
 
-DET_OK = re.compile(r"//\s*det-ok:\s*([\w-]+)?")
+DET_OK = lintlib.marker_pattern("det-ok")
 
 # SIMD kernels live only in these files (runtime-dispatched by ml/gemm.cpp,
 # pinned to -ffp-contract=off); intrinsics anywhere else are findings.
@@ -108,38 +106,6 @@ TELEMETRY_RULES = {
         r"\bunordered_(?:map|set|multimap|multiset)\b"
     ),
 }
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks out comments, string and char literals, preserving line breaks
-    so findings keep their line numbers."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            seg = text[i : j + 2]
-            out.append("".join(ch if ch == "\n" else " " for ch in seg))
-            i = j + 2
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            out.append(" " * (min(j, n - 1) + 1 - i))
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
 
 
 def declared_unordered_names(code: str) -> set[str]:
@@ -182,14 +148,8 @@ def contract_condition_spans(code: str):
         yield start, code[start:end]
 
 
-def line_of(code: str, offset: int) -> int:
-    return code.count("\n", 0, offset) + 1
-
-
 def allowed(raw_lines: list[str], lineno: int, rule: str) -> bool:
-    line = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
-    m = DET_OK.search(line)
-    return bool(m) and (m.group(1) is None or m.group(1) == rule)
+    return lintlib.marker_allows(raw_lines, lineno, DET_OK, rule)
 
 
 RANGE_FOR = re.compile(r"for\s*\(\s*[^;:()]*?:\s*([\w.\->]+)\s*\)")
@@ -352,36 +312,18 @@ def self_test() -> int:
                     + simd_bad_findings)
     good_findings = (good_findings + fault_good_findings
                      + telemetry_good_findings + simd_good_findings)
-    if not ok:
-        print("self-test FAILED")
-        print("  bad findings:", sorted(bad_findings))
-        print("  good findings:", sorted(good_findings))
-        return 1
-    print(f"self-test ok ({len(bad_findings)} expected findings, 0 false positives)")
-    return 0
+    return lintlib.self_test_verdict(ok, bad_findings, good_findings)
 
 
 def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", type=pathlib.Path, default=pathlib.Path("."),
-                        help="repository root (default: cwd)")
-    parser.add_argument("--self-test", action="store_true",
-                        help="run the lint's own positive/negative samples")
-    args = parser.parse_args()
-
+    args = lintlib.standard_parser(__doc__).parse_args()
     if args.self_test:
         return self_test()
 
     root = args.root.resolve()
-    files = sorted(
-        path
-        for scan_dir in SCAN_DIRS
-        for path in (root / scan_dir).rglob("*")
-        if path.suffix in EXTENSIONS
-    )
+    files = lintlib.collect_sources(root)
     if not files:
-        print(f"lint_determinism: no sources under {root}", file=sys.stderr)
-        return 2
+        return lintlib.no_sources_error("lint_determinism", root)
 
     # Unordered container members are declared in headers and iterated in
     # .cpp files, so collect declaration names across the whole scan set.
@@ -392,24 +334,20 @@ def main() -> int:
     for code in stripped.values():
         unordered_names |= declared_unordered_names(code)
 
-    total = 0
+    findings = []
     for path in files:
         fault_path = bool(FAULT_PATH_FILE.search(path.name))
         telemetry_path = bool(TELEMETRY_PATH_FILE.search(path.name))
         kernel_file = bool(KERNEL_FILE.search(path.name))
+        rel = path.relative_to(root).as_posix()
         for lineno, rule, snippet in lint_text(raws[path], stripped[path],
                                                unordered_names, fault_path,
                                                telemetry_path, kernel_file):
-            rel = path.relative_to(root)
-            print(f"{rel}:{lineno}: [{rule}] {snippet}")
-            total += 1
+            findings.append((rel, lineno, rule, snippet))
 
-    if total:
-        print(f"\nlint_determinism: {total} finding(s) across {len(files)} files")
-        print("suppress a safe site with: // det-ok: <rule> (<why it is safe>)")
-        return 1
-    print(f"lint_determinism: clean ({len(files)} files)")
-    return 0
+    return lintlib.report_findings(
+        "lint_determinism", findings, len(files),
+        ["suppress a safe site with: // det-ok: <rule> (<why it is safe>)"])
 
 
 if __name__ == "__main__":
