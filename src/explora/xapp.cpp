@@ -24,6 +24,39 @@ ExploraXapp::ExploraXapp(Config config, oran::RmrRouter& router,
     reliable_.emplace(*config_.reliable, router, config_.name);
   }
   report_period_ = config_.expected_report_period;
+
+  // Unified degradation ladder: the staleness watchdog is its gap/clean
+  // axis; recovery needs the same clean streak the old watchdog required.
+  // Load/breaker tier movements (driven by an ExplainService sharing this
+  // ladder) are archived here as demote/promote DegradationRecords, so
+  // the repository holds ONE degradation history for the whole xApp.
+  // Stale enter/recover records are archived by enter_degraded /
+  // exit_degraded themselves (they carry gap measurements the ladder
+  // does not know), so those triggers are skipped here.
+  xai::serving::LadderConfig ladder_config;
+  ladder_config.recovery_clean_reports = recovery_target();
+  ladder_ = xai::serving::DegradationLadder(ladder_config);
+  ladder_.set_transition_hook(
+      [this](const xai::serving::DegradationLadder::Transition& t) {
+        using Trigger = xai::serving::DegradationLadder::Trigger;
+        if (t.trigger != Trigger::kLoad && t.trigger != Trigger::kBreaker) {
+          return;
+        }
+        if (repository_ == nullptr) return;
+        const bool demote = t.to > t.from;
+        repository_->store_degradation(oran::DegradationRecord{
+            .phase = demote ? oran::DegradationRecord::Phase::kDemote
+                            : oran::DegradationRecord::Phase::kPromote,
+            .detected_at = t.at,
+            .missed_windows = 0,
+            .tier_from = static_cast<std::uint8_t>(t.from),
+            .tier_to = static_cast<std::uint8_t>(t.to),
+            .detail = common::format(
+                "serving tier {} -> {} ({})", to_string(t.from),
+                to_string(t.to), to_string(t.trigger)),
+        });
+      });
+
   telemetry::Scope scope("explora.xapp");
   tm_indications_ = &scope.counter("indications");
   tm_controls_seen_ = &scope.counter("controls_seen");
@@ -80,11 +113,13 @@ void ExploraXapp::on_message(const oran::RicMessage& message) {
       const netsim::KpiReport& report = message.kpm().report;
       tm_indications_->add(1);
       observe_indication_timing(report);
-      if (degraded_) {
+      if (ladder_.stale()) {
         // Quarantine: count clean in-sequence reports, feed nothing to the
         // graph or the transition tracker until a full clean window passed.
-        ++clean_streak_;
-        if (clean_streak_ < recovery_target()) return;
+        // (The report that revealed a gap already went through record_gap,
+        // so it counts as clean streak 1 — same semantics as before the
+        // ladder unification.)
+        if (!ladder_.record_clean(report.window_end)) return;
         exit_degraded(report.window_end);  // resume with this report
       }
       if (!current_action_.has_value()) return;  // nothing enforced yet
@@ -130,7 +165,7 @@ void ExploraXapp::on_message(const oran::RicMessage& message) {
       netsim::SlicingControl enforced = proposed;
       std::string rationale = "forwarded unchanged (steering disabled)";
       bool replaced = false;
-      if (degraded_) {
+      if (ladder_.stale()) {
         // Telemetry is stale: steering would reason over gapped evidence,
         // so fall back to hold-last-safe or shield-only forwarding.
         if (config_.degraded_hold_last && last_safe_action_.has_value()) {
@@ -181,7 +216,7 @@ void ExploraXapp::on_message(const oran::RicMessage& message) {
       // freeze (they would ingest gapped data).
       graph_.begin_action(enforced);
       current_action_ = enforced;
-      if (!degraded_) last_safe_action_ = enforced;
+      if (!ladder_.stale()) last_safe_action_ = enforced;
 
       if (repository_ != nullptr) {
         repository_->store_explanation(oran::ExplanationRecord{
@@ -222,12 +257,12 @@ void ExploraXapp::observe_indication_timing(const netsim::KpiReport& report) {
 void ExploraXapp::enter_degraded(netsim::Tick detected_at,
                                  std::uint64_t missed) {
   indications_missed_ += missed;
-  clean_streak_ = 0;  // a gap while degraded restarts the quarantine
   reports_discarded_ += pending_window_.size();
   tm_reports_discarded_->add(pending_window_.size());
   pending_window_.clear();  // never build transitions from a gapped window
-  if (degraded_) return;
-  degraded_ = true;
+  const bool was_stale = ladder_.stale();
+  ladder_.record_gap(detected_at);  // a repeat gap restarts the quarantine
+  if (was_stale) return;
   ++degradation_events_;
   tm_degraded_episodes_->add(1);
   degraded_entered_at_ = detected_at;
@@ -250,8 +285,8 @@ void ExploraXapp::enter_degraded(netsim::Tick detected_at,
 }
 
 void ExploraXapp::exit_degraded(netsim::Tick detected_at) {
-  degraded_ = false;
-  clean_streak_ = 0;
+  // The ladder already cleared its stale bit (record_clean completed the
+  // streak); this hook only archives/logs the recovery.
   tm_degraded_ticks_->record(detected_at - degraded_entered_at_);
   common::logf(common::LogLevel::kInfo, "explora-xapp",
                "KPM stream recovered at tick {}: leaving degraded mode",

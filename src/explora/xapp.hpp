@@ -24,6 +24,7 @@
 #include "oran/data_repository.hpp"
 #include "oran/reliable.hpp"
 #include "oran/rmr.hpp"
+#include "xai/serving.hpp"
 
 namespace explora::core {
 
@@ -109,8 +110,22 @@ class ExploraXapp final : public oran::RmrEndpoint,
   }
 
   // --- resilience access ----------------------------------------------------
-  /// True while the staleness watchdog distrusts the KPM stream.
-  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  /// True while the staleness watchdog distrusts the KPM stream. This is
+  /// the staleness axis of the unified degradation ladder — the same
+  /// state machine the explanation-serving layer reads, so the watchdog's
+  /// clean-streak accounting and the serving-tier hysteresis can never
+  /// disagree about the active tier.
+  [[nodiscard]] bool degraded() const noexcept { return ladder_.stale(); }
+  /// The xApp's single degradation state machine. Hand this to an
+  /// ExplainService (shared_ladder) to serve explanations under the same
+  /// staleness/load/breaker state the control path honours.
+  [[nodiscard]] xai::serving::DegradationLadder& ladder() noexcept {
+    return ladder_;
+  }
+  [[nodiscard]] const xai::serving::DegradationLadder& ladder()
+      const noexcept {
+    return ladder_;
+  }
   /// Times the watchdog entered degraded mode.
   [[nodiscard]] std::uint64_t degradation_events() const noexcept {
     return degradation_events_;
@@ -163,11 +178,13 @@ class ExploraXapp final : public oran::RmrEndpoint,
   std::uint64_t controls_replaced_ = 0;
   std::uint64_t a1_policies_applied_ = 0;
 
-  // Staleness watchdog state.
+  // Staleness watchdog state. The degraded bit and clean-streak counter
+  // live inside the unified ladder (configured in the constructor with
+  // recovery_clean_reports = recovery_target()); only gap *measurement*
+  // stays here.
   std::optional<netsim::Tick> last_window_end_;
   netsim::Tick report_period_ = 0;
-  bool degraded_ = false;
-  std::size_t clean_streak_ = 0;
+  xai::serving::DegradationLadder ladder_;
   std::uint64_t degradation_events_ = 0;
   std::uint64_t reports_discarded_ = 0;
   std::uint64_t indications_missed_ = 0;

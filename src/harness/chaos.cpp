@@ -38,7 +38,25 @@ ExperimentOptions base_options(const ChaosConfig& config) {
   // The gNB report period is known here, so the watchdog does not need to
   // infer it from (possibly already gapped) indication spacing.
   options.expected_report_period = config.scenario.gnb.report_period_ttis;
+  options.serving = config.serving;
   return options;
+}
+
+/// Serving contract for one row: the queue never grew past its bound,
+/// every accepted request was either delivered or shed with a reason, and
+/// shedding stayed within the configured rate.
+bool serving_contract_holds(const ServingTelemetry& serving,
+                            double max_shed_rate) {
+  const ExplainService::Stats& stats = serving.stats;
+  if (stats.submitted == 0) return true;  // service never came up
+  if (stats.queue_high_water > stats.queue_capacity) return false;
+  if (stats.accepted != serving.delivered + serving.shed_notices) {
+    return false;
+  }
+  const double shed_rate =
+      static_cast<double>(stats.submitted - serving.delivered) /
+      static_cast<double>(stats.submitted);
+  return shed_rate <= max_shed_rate;
 }
 
 }  // namespace
@@ -59,6 +77,11 @@ std::vector<ChaosFaultPoint> default_fault_points() {
       {.label = "kpm-gap",
        .control_drop = 0.02,
        .indication_drop = 0.15},
+      {.label = "slow-explainer",
+       .control_drop = 0.02,
+       .explainer_slow = 0.30,
+       .explainer_slow_factor = 4,
+       .explainer_fail = 0.05},
   };
 }
 
@@ -72,6 +95,13 @@ bool ChaosReport::all_exactly_once() const {
 bool ChaosReport::all_bounded() const {
   for (const ChaosRow& row : rows) {
     if (!row.bounded) return false;
+  }
+  return true;
+}
+
+bool ChaosReport::all_serving_ok() const {
+  for (const ChaosRow& row : rows) {
+    if (!row.serving_ok) return false;
   }
   return true;
 }
@@ -115,9 +145,31 @@ std::string ChaosReport::to_json() const {
     out += ", \"degradation_events\": " + std::to_string(t.degradation_events);
     out += ", \"indications_missed\": " + std::to_string(t.indications_missed);
     out += ", \"reports_discarded\": " + std::to_string(t.reports_discarded);
+    const ServingTelemetry& s = row.serving;
+    out += ", \"explainer_slow\": " + json_double(row.point.explainer_slow);
+    out += ", \"explainer_fail\": " + json_double(row.point.explainer_fail);
+    out += ", \"serving_submitted\": " + std::to_string(s.stats.submitted);
+    out += ", \"serving_accepted\": " + std::to_string(s.stats.accepted);
+    out += ", \"serving_delivered\": " + std::to_string(s.delivered);
+    out += ", \"serving_shed\": " + std::to_string(s.stats.shed_total());
+    out += ", \"serving_exact\": " + std::to_string(s.stats.served_by_tier[0]);
+    out +=
+        ", \"serving_sampled\": " + std::to_string(s.stats.served_by_tier[1]);
+    out += ", \"serving_surrogate\": " +
+           std::to_string(s.stats.served_by_tier[2]);
+    out += ", \"serving_cached\": " + std::to_string(s.stats.served_by_tier[3]);
+    out += ", \"serving_demoted\": " + std::to_string(s.stats.demoted_requests);
+    out += ", \"serving_eval_faults\": " + std::to_string(s.stats.eval_faults);
+    out +=
+        ", \"serving_breaker_trips\": " + std::to_string(s.stats.breaker_trips);
+    out += ", \"serving_queue_high_water\": " +
+           std::to_string(s.stats.queue_high_water);
+    out += ", \"serving_digest\": " + std::to_string(s.stream_digest);
     out += ", \"exactly_once\": " + std::string(row.exactly_once ? "true"
                                                                  : "false");
     out += ", \"bounded\": " + std::string(row.bounded ? "true" : "false");
+    out +=
+        ", \"serving_ok\": " + std::string(row.serving_ok ? "true" : "false");
     out += "}";
     if (i + 1 < rows.size()) out += ",";
     out += "\n";
@@ -147,6 +199,11 @@ ChaosReport run_chaos_sweep(const TrainedSystem& system,
   report.rows.reserve(config.points.size());
   for (const ChaosFaultPoint& point : config.points) {
     ExperimentOptions options = base_options(config);
+    if (options.serving.has_value()) {
+      options.serving->eval_slow_probability = point.explainer_slow;
+      options.serving->eval_slow_factor = point.explainer_slow_factor;
+      options.serving->eval_failure_probability = point.explainer_fail;
+    }
     FaultInjectionOptions faults;
     faults.seed = config.fault_seed;
     faults.control = {.drop = point.control_drop,
@@ -165,6 +222,8 @@ ChaosReport run_chaos_sweep(const TrainedSystem& system,
     row.point = point;
     row.mean_reward = result.mean_reward();
     row.telemetry = *result.faults;
+    if (result.serving.has_value()) row.serving = *result.serving;
+    row.serving_ok = serving_contract_holds(row.serving, config.max_shed_rate);
     const double scale = std::abs(report.baseline_reward);
     row.degradation =
         scale > 0.0 ? (report.baseline_reward - row.mean_reward) / scale
@@ -186,6 +245,16 @@ ChaosReport run_chaos_sweep(const TrainedSystem& system,
                  row.telemetry.controls_decided,
                  row.telemetry.retransmissions, row.exactly_once,
                  row.bounded);
+    common::logf(common::LogLevel::kInfo, "chaos",
+                 "point {} serving: {} submitted, {} delivered, {} shed, "
+                 "{} demoted, {} eval faults, high water {}/{}, "
+                 "serving_ok={}",
+                 point.label, row.serving.stats.submitted,
+                 row.serving.delivered, row.serving.stats.shed_total(),
+                 row.serving.stats.demoted_requests,
+                 row.serving.stats.eval_faults,
+                 row.serving.stats.queue_high_water,
+                 row.serving.stats.queue_capacity, row.serving_ok);
     report.rows.push_back(std::move(row));
   }
   return report;

@@ -28,6 +28,11 @@ struct ChaosFaultPoint {
   double control_duplicate = 0.0;  ///< RIC_CONTROL duplication probability
   double ack_drop = 0.0;           ///< RIC_CONTROL_ACK drop probability
   double indication_drop = 0.0;    ///< KPM drop on the EXPLORA subscription
+  // Slow-explainer impairment: per-request simulated-cost inflation and
+  // outright eval failures on the serving path's model-eval tiers.
+  double explainer_slow = 0.0;        ///< P(cost inflated slow_factor x)
+  std::int64_t explainer_slow_factor = 4;
+  double explainer_fail = 0.0;        ///< P(model eval fails; feeds breaker)
 };
 
 struct ChaosConfig {
@@ -49,6 +54,13 @@ struct ChaosConfig {
   /// Maximum tolerated mean-reward degradation vs the baseline (0.20 =
   /// 20%).
   double max_reward_degradation = 0.20;
+  /// Explanation serving runs on every sweep point (and the baseline), so
+  /// the serving-path contract is checked under the same faults as the
+  /// control plane.
+  ServingOptions serving{};
+  /// Maximum tolerated fraction of submitted requests shed (admission +
+  /// dispatch) per point.
+  double max_shed_rate = 0.5;
 };
 
 /// The default sweep: drop rates up to 10% on the control plane, one
@@ -62,8 +74,13 @@ struct ChaosRow {
   /// (baseline - mean) / |baseline|; negative when faults improved reward.
   double degradation = 0.0;
   FaultTelemetry telemetry;
+  ServingTelemetry serving;
   bool exactly_once = false;
   bool bounded = false;
+  /// Serving contract: no growth past the admission bound, every accepted
+  /// request accounted for (delivered or shed with a reason), and the
+  /// total shed rate within ChaosConfig::max_shed_rate.
+  bool serving_ok = false;
 };
 
 struct ChaosReport {
@@ -74,6 +91,7 @@ struct ChaosReport {
   std::vector<ChaosRow> rows;
   [[nodiscard]] bool all_exactly_once() const;
   [[nodiscard]] bool all_bounded() const;
+  [[nodiscard]] bool all_serving_ok() const;
   /// Deterministic JSON: fixed key order, "%.6f" floats, no locale.
   [[nodiscard]] std::string to_json() const;
 };

@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include <bit>
 #include <optional>
 
 #include "common/contracts.hpp"
@@ -9,6 +10,43 @@
 #include "oran/ric.hpp"
 
 namespace explora::harness {
+
+namespace {
+
+/// FNV-1a over the serving result stream. Everything folded in is either
+/// an integer or the raw bits of a deterministically computed double, so
+/// the digest is byte-identical whenever the decision stream is.
+void fnv_mix(std::uint64_t& digest, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (value >> (8 * i)) & 0xffULL;
+    digest *= 1099511628211ULL;
+  }
+}
+
+void fold_serving_results(const std::vector<ExplanationResult>& results,
+                          ServingTelemetry& telemetry) {
+  for (const ExplanationResult& result : results) {
+    if (result.shed_reason != xai::serving::ShedReason::kNone) {
+      ++telemetry.shed_notices;
+    } else {
+      ++telemetry.delivered;
+    }
+    fnv_mix(telemetry.stream_digest, result.id);
+    fnv_mix(telemetry.stream_digest,
+            (static_cast<std::uint64_t>(result.output_index) << 32) |
+                (static_cast<std::uint64_t>(result.tier) << 16) |
+                (static_cast<std::uint64_t>(result.shed_reason) << 8) |
+                (result.degraded ? 2ULL : 0ULL) |
+                (result.from_cache ? 1ULL : 0ULL));
+    fnv_mix(telemetry.stream_digest,
+            static_cast<std::uint64_t>(result.latency));
+    for (const double phi : result.attribution) {
+      fnv_mix(telemetry.stream_digest, std::bit_cast<std::uint64_t>(phi));
+    }
+  }
+}
+
+}  // namespace
 
 double ExperimentResult::mean_reward() const {
   if (decisions.empty()) return 0.0;
@@ -37,6 +75,7 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
   EXPLORA_EXPECTS(options.decisions > 0);
   EXPLORA_EXPECTS(!options.steering.has_value() || options.deploy_explora);
   EXPLORA_EXPECTS(!options.shield.has_value() || options.deploy_explora);
+  EXPLORA_EXPECTS(!options.serving.has_value() || options.deploy_explora);
 
   const std::size_t reports_per_decision = training.reports_per_decision;
   const core::RewardModel reward_model(core::weights_for(profile));
@@ -113,6 +152,22 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
     return reward_model.from_window(window);
   };
 
+  // Explanation serving rides the same closed loop: the service shares
+  // the xApp's degradation ladder and is ticked on the registry's TTI
+  // clock, so its admission/shed/demote stream is as deterministic as the
+  // control stream. It comes up once enough latents exist for a SHAP
+  // background.
+  std::optional<ExplainService> service;
+  std::vector<ml::Vector> serving_background;
+  ServingTelemetry serving_telemetry;
+  std::int64_t serving_tick = 0;
+  auto pump_serving = [&](std::int64_t until) {
+    if (!service.has_value()) return;
+    service->run_until(serving_tick, until);
+    serving_tick = until;
+    fold_serving_results(service->drain(), serving_telemetry);
+  };
+
   std::uint64_t replaced_before = 0;
   for (std::size_t d = 0; d < options.decisions; ++d) {
     if (options.drop_ue_at_decision.has_value() &&
@@ -142,6 +197,39 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
       replaced_before = explora->controls_replaced();
     }
     result.decisions.push_back(std::move(record));
+
+    if (options.serving.has_value() && explora.has_value()) {
+      const ServingOptions& serving = *options.serving;
+      const auto now = static_cast<std::int64_t>(tregistry.now());
+      if (!service.has_value()) {
+        serving_background.push_back(drl.last_latent());
+        if (serving_background.size() >= serving.background_rows) {
+          ExplainService::Config service_config;
+          service_config.queue_capacity = serving.queue_capacity;
+          service_config.workers = serving.workers;
+          service_config.sampled_permutations = serving.sampled_permutations;
+          service_config.max_background = serving.background_rows;
+          service_config.seed = serving.seed;
+          service_config.eval_slow_probability = serving.eval_slow_probability;
+          service_config.eval_slow_factor = serving.eval_slow_factor;
+          service_config.eval_failure_probability =
+              serving.eval_failure_probability;
+          service.emplace(agent, serving_background, nullptr, service_config,
+                          &explora->ladder());
+          serving_tick = now;
+        }
+      } else {
+        pump_serving(now);
+        const std::int64_t deadline =
+            serving.deadline_ticks > 0 ? now + serving.deadline_ticks : 0;
+        for (std::size_t i = 0; i < serving.requests_per_decision; ++i) {
+          const auto head =
+              static_cast<std::uint32_t>((d + i) % ml::kNumHeads);
+          (void)service->submit(drl.last_latent(), head,
+                                drl.last_decision()->action, now, deadline);
+        }
+      }
+    }
   }
   // Credit the final decision with one more observation block.
   ric.run_windows(reports_per_decision);
@@ -169,6 +257,26 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
       if (explora.has_value()) explora->pump_reliable();
     }
   }
+
+  // Drain the serving tail: queued/executing explanations finish on the
+  // simulated clock, so advance it (bounded — every pass retires at least
+  // one tier-cost worth of work or sheds on deadline).
+  if (service.has_value()) {
+    const std::int64_t chunk =
+        service->config().costs.cost(xai::serving::Tier::kExact) *
+            service->config().eval_slow_factor +
+        service->config().default_deadline;
+    for (int i = 0;
+         i < 64 && (service->queue().depth() > 0 || service->busy_workers() > 0);
+         ++i) {
+      pump_serving(serving_tick + chunk);
+    }
+    pump_serving(serving_tick + 1);
+    serving_telemetry.stats = service->stats();
+    serving_telemetry.ladder_demotions = service->ladder().demotions();
+    serving_telemetry.ladder_promotions = service->ladder().promotions();
+  }
+  if (options.serving.has_value()) result.serving = serving_telemetry;
 
   if (explora.has_value()) {
     result.graph = explora->graph();

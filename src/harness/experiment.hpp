@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "explora/edbr.hpp"
+#include "explora/explain_service.hpp"
 #include "explora/shield.hpp"
 #include "explora/graph.hpp"
 #include "explora/reward.hpp"
@@ -38,6 +39,41 @@ struct FaultInjectionOptions {
   /// Applied to KPM indications delivered to `indication_target` only.
   oran::LinkImpairments::Policy indication{};
   std::string indication_target = "explora_xapp";
+};
+
+/// Explanation-serving wiring for closed-loop runs (requires
+/// deploy_explora): each decision submits queries for the latest latent
+/// and enforced action against an ExplainService that shares the EXPLORA
+/// xApp's degradation ladder, ticking the service on the gNB's TTI clock.
+/// The service is constructed once `background_rows` latents have been
+/// observed (SHAP needs a background to marginalize over).
+struct ServingOptions {
+  std::size_t requests_per_decision = 2;
+  std::size_t queue_capacity = 16;
+  std::size_t workers = 2;
+  /// Latent rows collected before the service comes up.
+  std::size_t background_rows = 4;
+  std::size_t sampled_permutations = 8;
+  std::uint64_t seed = 2027;
+  /// Per-request deadline in ticks; 0 = the service default.
+  std::int64_t deadline_ticks = 0;
+  // Slow-explainer impairment (chaos): see ExplainService::Config.
+  double eval_slow_probability = 0.0;
+  std::int64_t eval_slow_factor = 4;
+  double eval_failure_probability = 0.0;
+};
+
+/// End-of-run serving-path telemetry: admission/shed/tier counters from
+/// the service plus an FNV-1a digest of the delivered result stream
+/// (ids, tiers, shed reasons, attribution bytes in delivery order) — two
+/// runs that made identical serving decisions produce identical digests.
+struct ServingTelemetry {
+  ExplainService::Stats stats{};
+  std::uint64_t delivered = 0;     ///< results with an attribution
+  std::uint64_t shed_notices = 0;  ///< dispatch-time sheds drained
+  std::uint64_t ladder_demotions = 0;
+  std::uint64_t ladder_promotions = 0;
+  std::uint64_t stream_digest = 14695981039346656037ULL;  ///< FNV-1a basis
 };
 
 struct ExperimentOptions {
@@ -75,6 +111,8 @@ struct ExperimentOptions {
   /// EXPLORA staleness-watchdog tuning (see ExploraXapp::Config).
   netsim::Tick expected_report_period = 0;
   bool degraded_hold_last = false;
+  /// Explanation serving on the closed loop (requires deploy_explora).
+  std::optional<ServingOptions> serving;
 };
 
 /// One DRL decision period.
@@ -134,6 +172,8 @@ struct ExperimentResult {
   std::uint64_t controls_replaced = 0;
   /// Present whenever options.faults or options.reliable is set.
   std::optional<FaultTelemetry> faults;
+  /// Present whenever options.serving is set.
+  std::optional<ServingTelemetry> serving;
 
   /// Mean reward across decisions.
   [[nodiscard]] double mean_reward() const;

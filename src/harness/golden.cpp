@@ -49,6 +49,24 @@ ExperimentOptions golden_options(std::string_view case_name) {
   options.reliable = oran::ReliableControlSender::Config{
       .ack_timeout_ticks = 1, .max_retries = 12, .backoff_factor = 1};
   if (case_name == "baseline") return options;
+  if (case_name == "serving_burst") {
+    // Explanation serving under burst pressure: a deliberately small
+    // queue and single worker so the ladder demotes, tight deadlines so
+    // dispatch walks down, and slow/failing evals so the breaker and the
+    // explora.serving.* fault counters all appear in the snapshot.
+    ServingOptions serving;
+    serving.requests_per_decision = 6;
+    serving.queue_capacity = 4;
+    serving.workers = 1;
+    serving.background_rows = 4;
+    serving.sampled_permutations = 4;
+    serving.deadline_ticks = 64;
+    serving.eval_slow_probability = 0.30;
+    serving.eval_slow_factor = 4;
+    serving.eval_failure_probability = 0.10;
+    options.serving = serving;
+    return options;
+  }
   EXPLORA_EXPECTS_MSG(case_name == "chaos_drop10",
                       "unknown golden-trace case '{}'", case_name);
   FaultInjectionOptions faults;
@@ -61,8 +79,8 @@ ExperimentOptions golden_options(std::string_view case_name) {
 }  // namespace
 
 const std::vector<std::string_view>& golden_trace_cases() {
-  static const std::vector<std::string_view> cases = {"baseline",
-                                                      "chaos_drop10"};
+  static const std::vector<std::string_view> cases = {
+      "baseline", "chaos_drop10", "serving_burst"};
   return cases;
 }
 

@@ -39,6 +39,8 @@ std::string to_string(DegradationRecord::Phase phase) {
   switch (phase) {
     case DegradationRecord::Phase::kEnter: return "enter";
     case DegradationRecord::Phase::kRecover: return "recover";
+    case DegradationRecord::Phase::kDemote: return "demote";
+    case DegradationRecord::Phase::kPromote: return "promote";
   }
   return "?";
 }

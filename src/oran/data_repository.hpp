@@ -23,14 +23,27 @@ struct ExplanationRecord {
   std::string explanation;           ///< human-readable rationale
 };
 
-/// One archived degraded-mode event from the EXPLORA xApp's staleness
-/// watchdog: entry when the KPM indication stream gaps, recovery when a
-/// full clean window has been observed again.
+/// One archived degradation event from the EXPLORA xApp's unified
+/// degradation ladder: staleness entry when the KPM indication stream
+/// gaps, recovery when a full clean window has been observed again, and
+/// serving-tier demotions/promotions from the explanation-serving ladder
+/// (load pressure or the model-eval circuit breaker). One archive, one
+/// record shape, regardless of which axis moved.
 struct DegradationRecord {
-  enum class Phase : std::uint8_t { kEnter = 0, kRecover = 1 };
+  enum class Phase : std::uint8_t {
+    kEnter = 0,    ///< staleness watchdog engaged (KPM gap)
+    kRecover = 1,  ///< staleness cleared (clean streak complete)
+    kDemote = 2,   ///< serving tier demoted (load/breaker)
+    kPromote = 3,  ///< serving tier promoted (load/breaker)
+  };
   Phase phase = Phase::kEnter;
   netsim::Tick detected_at = 0;        ///< window_end of the triggering report
   std::uint64_t missed_windows = 0;    ///< estimated indications lost (enter)
+  /// Serving-tier movement (kDemote/kPromote only); values index
+  /// xai::serving::Tier — stored as raw bytes because oran sits beside,
+  /// not above, xai in the module DAG.
+  std::uint8_t tier_from = 0;
+  std::uint8_t tier_to = 0;
   std::string detail;                  ///< human-readable context
 };
 

@@ -305,6 +305,30 @@ Vector DecisionTreeClassifier::feature_importances() const {
   return importances_;
 }
 
+Vector DecisionTreeClassifier::path_attribution(const Vector& x) const {
+  EXPLORA_EXPECTS(!nodes_.empty());
+  EXPLORA_EXPECTS(x.size() == num_features_);
+  Vector attribution(num_features_, 0.0);
+  const TreeNode* node = &nodes_.front();
+  double total = 0.0;
+  while (node->feature >= 0) {
+    const auto f = static_cast<std::size_t>(node->feature);
+    const bool unseen =
+        attribution[f] == 0.0;  // det-ok: float-eq (sentinel we wrote)
+    if (unseen && importances_[f] > 0.0) {
+      attribution[f] = importances_[f];
+      total += importances_[f];
+    }
+    node = x[f] <= node->threshold
+               ? &nodes_[static_cast<std::size_t>(node->left)]
+               : &nodes_[static_cast<std::size_t>(node->right)];
+  }
+  if (total > 0.0) {
+    for (double& a : attribution) a /= total;
+  }
+  return attribution;
+}
+
 std::size_t DecisionTreeClassifier::depth() const noexcept {
   // Iterative depth computation over the index-linked nodes.
   if (nodes_.empty()) return 0;

@@ -91,6 +91,14 @@ class DecisionTreeClassifier {
   /// Total impurity decrease contributed by each feature (normalized).
   [[nodiscard]] Vector feature_importances() const;
 
+  /// Per-feature attribution for the single root-to-leaf path `x` takes:
+  /// the tree's impurity-decrease importances masked to the features
+  /// actually tested on that path and renormalized to sum to 1. This is
+  /// the degradation ladder's surrogate tier — a cheap, deterministic
+  /// stand-in for SHAP when the serving layer has shed the model-eval
+  /// budget (DESIGN.md §12). All-zero only if the tree is a single leaf.
+  [[nodiscard]] Vector path_attribution(const Vector& x) const;
+
   /// Renders the tree as indented if/else rules using the given feature and
   /// class names (the paper's Fig. 8/14 visual form).
   [[nodiscard]] std::string to_rules(

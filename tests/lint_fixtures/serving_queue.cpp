@@ -1,0 +1,36 @@
+// Fixture for the block-queue-blocking sink (xai/serving.hpp shape): the
+// serving queue's spinning push_blocking/pop_blocking convenience calls
+// carry BLOCKS at the call site, while the try_push/try_pop admission
+// calls are realtime barriers and stay fact-free.
+namespace fix {
+
+struct MiniQueue {
+  EXPLORA_REALTIME bool try_push(int v) noexcept { return v >= 0; }
+  EXPLORA_REALTIME bool try_pop(int& out) noexcept {
+    out = 0;
+    return true;
+  }
+  void push_blocking(int v) noexcept {
+    while (!try_push(v)) {
+    }
+  }
+  bool pop_blocking(int& out) noexcept {
+    while (!try_pop(out)) {
+    }
+    return true;
+  }
+};
+
+EXPLORA_NONBLOCKING bool admit(MiniQueue& q, int v) { return q.try_push(v); }
+
+bool stress_enqueue(MiniQueue& q, int v) {
+  q.push_blocking(v);
+  return true;
+}
+
+bool stress_dequeue(MiniQueue& q) {
+  int out = 0;
+  return q.pop_blocking(out);
+}
+
+}  // namespace fix

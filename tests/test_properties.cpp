@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "common/telemetry.hpp"
+#include "explora/explain_service.hpp"
 #include "explora/graph.hpp"
 #include "explora/reward.hpp"
 #include "harness/experiment.hpp"
@@ -380,6 +381,177 @@ TEST(Determinism, DifferentScenarioSeedsDiverge) {
   const auto b = run_with_seed(2);
   EXPECT_NE(a.embb_bitrate_mbps, b.embb_bitrate_mbps);
 }
+
+// ---------------------------------------------------------------------------
+// Serving degradation-ladder properties (DESIGN.md §12) under randomized
+// load streams, fault outcomes and submission patterns.
+// ---------------------------------------------------------------------------
+
+class ServingLadderSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Tier transitions are monotone in load: a ladder fed pointwise-higher
+// pressure can never sit at a more expensive (lower) tier than a ladder fed
+// the lower stream. The EWMA is monotone in its inputs and the hysteresis
+// streak counters reset together, so the tiers never cross.
+TEST_P(ServingLadderSweep, TierIsMonotoneInLoad) {
+  using xai::serving::DegradationLadder;
+  common::Rng rng(GetParam());
+  DegradationLadder low;
+  DegradationLadder high;
+  for (int step = 0; step < 2000; ++step) {
+    const auto pressure = rng.uniform_int(0, 30);
+    const auto extra = rng.uniform_int(0, 10);
+    low.observe_pressure(pressure, step);
+    high.observe_pressure(pressure + extra, step);
+    ASSERT_GE(static_cast<int>(high.active_tier()),
+              static_cast<int>(low.active_tier()))
+        << "at step " << step;
+    ASSERT_GE(high.pressure_ewma(), low.pressure_ewma());
+  }
+}
+
+// Hysteresis prevents oscillation. Two guarantees, probed separately:
+// with ewma_shift = 0 (pure streak hysteresis) a single spike of ANY
+// magnitude never flips the tier, because the demote streak requires two
+// consecutive out-of-band observations; with the default EWMA smoothing a
+// spike within the smoothing headroom decays below the threshold before
+// the streak can fill.
+TEST_P(ServingLadderSweep, SingleSpikeNeverFlipsTheTier) {
+  using xai::serving::DegradationLadder;
+  using xai::serving::LadderConfig;
+  common::Rng rng(GetParam());
+
+  LadderConfig unsmoothed;  // demote_streak 2, promote_streak 4
+  unsmoothed.ewma_shift = 0;
+  DegradationLadder streak_only(unsmoothed);
+  DegradationLadder smoothed;  // default ewma_shift = 2
+  std::int64_t tick = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      streak_only.observe_pressure(0, tick);
+      smoothed.observe_pressure(0, tick);
+      ++tick;
+    }
+    ASSERT_EQ(streak_only.active_tier(), xai::serving::Tier::kExact);
+    ASSERT_EQ(smoothed.active_tier(), xai::serving::Tier::kExact);
+    // Unbounded spike against the streak-only ladder: never flips.
+    streak_only.observe_pressure(rng.uniform_int(0, 1000000), tick);
+    // Against the smoothed ladder the spike must decay below the first
+    // demote edge (96 in fixed point) within one step so the 2-streak
+    // can't fill. Worst case with the idle-decay residue (<= 7):
+    // spike 24 -> ewma 7 + (384-7)/4 = 101, then 101 - 101/4 = 76 < 96.
+    smoothed.observe_pressure(rng.uniform_int(0, 24), tick);
+    ++tick;
+    streak_only.observe_pressure(0, tick);
+    smoothed.observe_pressure(0, tick);
+    ++tick;
+    ASSERT_EQ(streak_only.active_tier(), xai::serving::Tier::kExact);
+    ASSERT_EQ(smoothed.active_tier(), xai::serving::Tier::kExact);
+  }
+  EXPECT_EQ(streak_only.demotions(), 0u);
+  EXPECT_EQ(smoothed.demotions(), 0u);
+}
+
+// While the shared ladder is stale (watchdog gap), no request is ever
+// served with a freshly computed attribution: everything delivered comes
+// from the last-good cache, and heads with no cached value are shed.
+TEST_P(ServingLadderSweep, StaleLadderNeverAttributesFresh) {
+  common::Rng rng(GetParam());
+  telemetry::ScopedRegistry registry;
+  ml::PpoAgent agent{11};
+  std::vector<ml::Vector> background;
+  for (int r = 0; r < 4; ++r) {
+    ml::Vector row(ml::kLatentDim);
+    for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+    background.push_back(std::move(row));
+  }
+  xai::serving::DegradationLadder ladder;
+  ExplainService::Config config;
+  config.queue_capacity = 8;
+  config.workers = 1;
+  config.sampled_permutations = 4;
+  config.max_background = 4;
+  ExplainService service(agent, background, nullptr, config, &ladder);
+
+  ml::AgentAction action;
+  action.prb_choice = 0;
+  action.sched_choice = {0, 0, 0};
+  ml::Vector x(ml::kLatentDim);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+
+  // Prime the cache for one random head while healthy.
+  const auto cached_head =
+      static_cast<std::uint32_t>(rng.index(ml::kNumHeads));
+  ASSERT_TRUE(service.submit(x, cached_head, action, 10).accepted);
+  service.run_until(10, 300);
+  ASSERT_EQ(service.drain().size(), 1u);
+
+  ladder.record_gap(300);
+  std::int64_t now = 310;
+  for (int i = 0; i < 30; ++i) {
+    const auto head = static_cast<std::uint32_t>(rng.index(ml::kNumHeads));
+    (void)service.submit(x, head, action, now);
+    now += static_cast<std::int64_t>(rng.uniform_int(1, 20));
+    service.run_until(now - 1, now);
+  }
+  service.run_until(now, now + 300);
+  for (const auto& result : service.drain()) {
+    if (result.shed_reason != xai::serving::ShedReason::kNone) continue;
+    ASSERT_EQ(result.tier, xai::serving::Tier::kCached);
+    ASSERT_TRUE(result.from_cache);
+    ASSERT_EQ(result.output_index, cached_head);  // only primed head serves
+  }
+}
+
+// The breaker's state machine is deterministic and legally sequenced for
+// any outcome stream: replaying the same stream reproduces the same state
+// trajectory, and the only transitions ever observed are closed -> open,
+// open -> half-open, half-open -> open and half-open -> closed.
+TEST_P(ServingLadderSweep, BreakerSequencingIsDeterministic) {
+  using xai::serving::BreakerConfig;
+  using xai::serving::CircuitBreaker;
+  using State = xai::serving::CircuitBreaker::State;
+  BreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_ticks = 7;
+  config.successes_to_close = 2;
+
+  auto run = [&config](std::uint64_t seed) {
+    common::Rng rng(seed);
+    CircuitBreaker breaker(config);
+    std::vector<State> trajectory;
+    for (std::int64_t tick = 0; tick < 500; ++tick) {
+      breaker.on_tick(tick);
+      if (breaker.allow_eval() && rng.bernoulli(0.5)) {
+        if (rng.bernoulli(0.3)) {
+          breaker.record_failure(tick);
+        } else {
+          breaker.record_success(tick);
+        }
+      }
+      trajectory.push_back(breaker.state());
+    }
+    return trajectory;
+  };
+
+  const auto a = run(GetParam());
+  const auto b = run(GetParam());
+  ASSERT_EQ(a, b);  // byte-identical replay
+
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const State from = a[i - 1];
+    const State to = a[i];
+    if (from == to) continue;
+    const bool legal = (from == State::kClosed && to == State::kOpen) ||
+                       (from == State::kOpen && to == State::kHalfOpen) ||
+                       (from == State::kHalfOpen && to == State::kOpen) ||
+                       (from == State::kHalfOpen && to == State::kClosed);
+    ASSERT_TRUE(legal) << "illegal transition at step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingLadderSweep,
+                         ::testing::Values(2u, 29u, 311u, 9001u));
 
 }  // namespace
 }  // namespace explora

@@ -121,5 +121,12 @@ int main(int argc, char** argv) {
                stderr);
     return 1;
   }
+  if (!report.all_serving_ok()) {
+    std::fputs(
+        "chaos_sweep: FAIL — serving contract violated (queue overflow, "
+        "unaccounted request, or shed rate above bound)\n",
+        stderr);
+    return 1;
+  }
   return 0;
 }

@@ -91,7 +91,8 @@ UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 
 # Files that make up the fault-injection path; Rng use there must be a named
 # fork so chaos runs stay bit-reproducible and independent of other streams.
-FAULT_PATH_FILE = re.compile(r"(?:impairments|reliable|chaos)[^/\\]*$")
+FAULT_PATH_FILE = re.compile(
+    r"(?:impairments|reliable|chaos|serving|explain_service)[^/\\]*$")
 FAULT_RNG = re.compile(r"\bRng\s*(?:\w+\s*)?[({]")
 FORKED = re.compile(r"\.fork\s*\(")
 

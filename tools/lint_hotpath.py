@@ -113,6 +113,11 @@ SINKS: list[tuple[str, str, re.Pattern[str]]] = [
                 r"|shared_lock)\b")),
     (BLOCKS, "block-wait",
      re.compile(r"(?:\.|->)\s*(?:wait|wait_for|wait_until)\s*\(")),
+    # The serving queue's spinning convenience calls (xai/serving.hpp):
+    # busy-waits for stress drivers only, never for annotated paths —
+    # admission must use try_push/try_pop.
+    (BLOCKS, "block-queue-blocking",
+     re.compile(r"(?:\.|->)\s*(?:push_blocking|pop_blocking)\s*\(")),
     (BLOCKS, "block-sleep",
      re.compile(r"\bstd\s*::\s*this_thread\b|\bsleep(?:_for|_until)\s*\(")),
     (BLOCKS, "block-io",
