@@ -31,6 +31,8 @@
 #include "netsim/gnb.hpp"
 #include "netsim/scenario.hpp"
 #include "oran/rmr.hpp"
+#include "oran/trace.hpp"
+#include "oran/wire.hpp"
 #include "xai/shap.hpp"
 #include "xai/tree.hpp"
 
@@ -266,6 +268,30 @@ void BM_RmrRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RmrRoundTrip);
+
+// ---- wire codec (every recorded/replayed message crosses this) ------------
+
+void BM_WireEncodeKpm(benchmark::State& state) {
+  common::Rng rng(12);
+  const auto message = oran::make_kpm_indication("e2term", sample_report(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oran::wire::encode_message_frame(message));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireEncodeKpm);
+
+void BM_WireDecodeKpm(benchmark::State& state) {
+  common::Rng rng(12);
+  const auto wire = oran::wire::encode_message_frame(
+      oran::make_kpm_indication("e2term", sample_report(rng)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oran::wire::decode_message_frame(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_WireDecodeKpm);
 
 void BM_DecisionTreeFit(benchmark::State& state) {
   common::Rng rng(9);
@@ -619,6 +645,90 @@ std::string forward_batch_latency_case(std::size_t batch,
       identical ? "true" : "false");
 }
 
+// Wire codec throughput on a realistic mixed message stream (the stream a
+// TraceRecorder persists): encode and strict bounds-checked decode,
+// messages and bytes per second. This is the per-message cost record/
+// replay adds on top of routing.
+std::string wire_codec_case(std::size_t messages) {
+  common::Rng rng(12);
+  std::vector<oran::RicMessage> stream;
+  std::size_t total_bytes = 0;
+  for (std::size_t i = 0; i < messages; ++i) {
+    switch (i % 3) {
+      case 0:
+        stream.push_back(oran::make_kpm_indication("e2term",
+                                                   sample_report(rng)));
+        break;
+      case 1:
+        stream.push_back(oran::make_ran_control("drl_xapp",
+                                                random_control(rng), i, i));
+        break;
+      default:
+        stream.push_back(oran::make_ran_control_ack("e2term", i));
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> frames;
+  const double encode_s = time_best([&] {
+    frames.clear();
+    total_bytes = 0;
+    for (const auto& message : stream) {
+      frames.push_back(oran::wire::encode_message_frame(message));
+      total_bytes += frames.back().size();
+    }
+  });
+  const double decode_s = time_best([&] {
+    for (const auto& frame : frames) {
+      benchmark::DoNotOptimize(oran::wire::decode_message_frame(frame));
+    }
+  });
+  return common::format(
+      "    {{\"case\": \"wire_codec\", \"messages\": {}, \"bytes\": {}, "
+      "\"encode_seconds\": {:.6f}, \"decode_seconds\": {:.6f}, "
+      "\"encode_msgs_per_second\": {:.0f}, "
+      "\"decode_msgs_per_second\": {:.0f}}}",
+      messages, total_bytes, encode_s, decode_s,
+      static_cast<double>(messages) / std::max(encode_s, 1e-12),
+      static_cast<double>(messages) / std::max(decode_s, 1e-12));
+}
+
+// Record/replay throughput: serialize a recorded delivery stream to
+// `.etrace` bytes, parse it back, and re-deliver every frame into a sink
+// endpoint — the full offline-explanation transport path, no xApp logic.
+std::string trace_replay_case(std::size_t frames) {
+  class Sink final : public oran::RmrEndpoint {
+   public:
+    std::string_view endpoint_name() const noexcept override {
+      return "explora_xapp";
+    }
+    void on_message(const oran::RicMessage&) override { ++count; }
+    std::size_t count = 0;
+  };
+  common::Rng rng(13);
+  oran::TraceRecorder recorder("explora_xapp");
+  std::int64_t tick = 0;
+  recorder.set_tick_source([&tick] { return tick; });
+  for (std::size_t i = 0; i < frames; ++i) {
+    tick += 25;
+    recorder.on_deliver(oran::make_kpm_indication("e2term",
+                                                  sample_report(rng)),
+                        "explora_xapp", i + 1);
+  }
+  std::vector<std::uint8_t> bytes;
+  const double serialize_s = time_best([&] { bytes = recorder.serialize(); });
+  std::optional<oran::TraceReplaySource> source;
+  const double parse_s =
+      time_best([&] { source.emplace(oran::TraceReplaySource::parse(bytes)); });
+  Sink sink;
+  const double replay_s = time_best(
+      [&] { benchmark::DoNotOptimize(source->replay_into(sink, "explora_xapp")); });
+  return common::format(
+      "    {{\"case\": \"trace_replay\", \"frames\": {}, \"bytes\": {}, "
+      "\"serialize_seconds\": {:.6f}, \"parse_seconds\": {:.6f}, "
+      "\"replay_seconds\": {:.6f}, \"replay_frames_per_second\": {:.0f}}}",
+      frames, bytes.size(), serialize_s, parse_s, replay_s,
+      static_cast<double>(frames) / std::max(replay_s, 1e-12));
+}
+
 void report_parallel_speedup() {
   const std::size_t threads = common::configured_threads();
   common::ThreadPool serial(1);
@@ -637,6 +747,8 @@ void report_parallel_speedup() {
   json += forward_batch_latency_case(4096, ml::Activation::kRelu) + ",\n";
   json += forward_batch_latency_case(256, ml::Activation::kTanh) + ",\n";
   json += forward_batch_latency_case(4096, ml::Activation::kTanh) + ",\n";
+  json += wire_codec_case(3000) + ",\n";
+  json += trace_replay_case(3000) + ",\n";
   json += contract_overhead_case(10) + ",\n";
   json += lock_overhead_case() + ",\n";
   json += telemetry_overhead_case() + "\n";

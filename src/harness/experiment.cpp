@@ -48,6 +48,20 @@ void fold_serving_results(const std::vector<ExplanationResult>& results,
 
 }  // namespace
 
+core::ExploraXapp::Config make_explora_config(
+    const ExperimentOptions& options, core::AgentProfile profile,
+    std::size_t reports_per_decision) {
+  core::ExploraXapp::Config config;
+  config.reports_per_decision = reports_per_decision;
+  config.reward_weights = core::weights_for(profile);
+  config.steering = options.steering;
+  config.shield = options.shield;
+  config.reliable = options.reliable;
+  config.expected_report_period = options.expected_report_period;
+  config.degraded_hold_last = options.degraded_hold_last;
+  return config;
+}
+
 double ExperimentResult::mean_reward() const {
   if (decisions.empty()) return 0.0;
   double sum = 0.0;
@@ -90,6 +104,12 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
 
   oran::NearRtRic ric(netsim::make_gnb(scenario));
 
+  if (options.recorder != nullptr) {
+    options.recorder->set_tick_source(
+        [&tregistry] { return tregistry.now(); });
+    ric.router().set_delivery_tap(options.recorder);
+  }
+
   if (options.faults.has_value()) {
     const FaultInjectionOptions& faults = *options.faults;
     oran::LinkImpairments& impairments =
@@ -116,15 +136,9 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
 
   std::optional<core::ExploraXapp> explora;
   if (options.deploy_explora) {
-    core::ExploraXapp::Config xapp_config;
-    xapp_config.reports_per_decision = reports_per_decision;
-    xapp_config.reward_weights = core::weights_for(profile);
-    xapp_config.steering = options.steering;
-    xapp_config.shield = options.shield;
-    xapp_config.reliable = options.reliable;
-    xapp_config.expected_report_period = options.expected_report_period;
-    xapp_config.degraded_hold_last = options.degraded_hold_last;
-    explora.emplace(xapp_config, ric.router(), &ric.repository());
+    explora.emplace(make_explora_config(options, profile,
+                                        reports_per_decision),
+                    ric.router(), &ric.repository());
     ric.attach_xapp(*explora);
     ric.subscribe_indications(std::string(explora->endpoint_name()));
     ric.route_control_via(std::string(drl.endpoint_name()),
@@ -277,6 +291,9 @@ ExperimentResult run_experiment(const ml::KpiNormalizer& normalizer,
     serving_telemetry.ladder_promotions = service->ladder().promotions();
   }
   if (options.serving.has_value()) result.serving = serving_telemetry;
+
+  result.explanations = ric.repository().explanations();
+  result.degradations = ric.repository().degradations();
 
   if (explora.has_value()) {
     result.graph = explora->graph();

@@ -19,9 +19,11 @@
 #include "harness/training.hpp"
 #include "ml/agent.hpp"
 #include "ml/features.hpp"
+#include "explora/xapp.hpp"
 #include "netsim/scenario.hpp"
 #include "oran/impairments.hpp"
 #include "oran/reliable.hpp"
+#include "oran/trace.hpp"
 
 namespace explora::harness {
 
@@ -113,7 +115,21 @@ struct ExperimentOptions {
   bool degraded_hold_last = false;
   /// Explanation serving on the closed loop (requires deploy_explora).
   std::optional<ServingOptions> serving;
+
+  // --- record/replay -----------------------------------------------------
+  /// When set, tapped onto the router for the run's duration: every
+  /// delivered message is captured tick-stamped (on the telemetry
+  /// registry's clock), ready to serialize as an `.etrace` stream for
+  /// offline replay (DESIGN.md §13.4). Non-owning; must outlive the run.
+  oran::TraceRecorder* recorder = nullptr;
 };
+
+/// The EXPLORA xApp configuration run_experiment deploys for the given
+/// options — exposed so an offline replay (harness/replay.hpp) constructs
+/// a byte-identical xApp from the same options that drove the live run.
+[[nodiscard]] core::ExploraXapp::Config make_explora_config(
+    const ExperimentOptions& options, core::AgentProfile profile,
+    std::size_t reports_per_decision);
 
 /// One DRL decision period.
 struct DecisionRecord {
@@ -161,6 +177,10 @@ struct FaultTelemetry {
 
 struct ExperimentResult {
   std::vector<DecisionRecord> decisions;
+  /// The repository's explanation/degradation archives at end of run (the
+  /// attribution stream a replayed trace must reproduce byte-identically).
+  std::vector<oran::ExplanationRecord> explanations;
+  std::vector<oran::DegradationRecord> degradations;
   /// Per report window (decisions x M entries), slice-aggregate KPIs.
   std::vector<double> embb_bitrate_mbps;
   std::vector<double> mmtc_tx_packets;

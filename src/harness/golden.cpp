@@ -3,6 +3,7 @@
 #include "common/contracts.hpp"
 #include "common/telemetry.hpp"
 #include "harness/experiment.hpp"
+#include "harness/replay.hpp"
 #include "harness/training.hpp"
 
 namespace explora::harness {
@@ -48,7 +49,9 @@ ExperimentOptions golden_options(std::string_view case_name) {
   // zero retransmissions — the diff then shows exactly what faults add).
   options.reliable = oran::ReliableControlSender::Config{
       .ack_timeout_ticks = 1, .max_retries = 12, .backoff_factor = 1};
-  if (case_name == "baseline") return options;
+  if (case_name == "baseline" || case_name == "replay_roundtrip") {
+    return options;
+  }
   if (case_name == "serving_burst") {
     // Explanation serving under burst pressure: a deliberately small
     // queue and single worker so the ladder demotes, tight deadlines so
@@ -80,7 +83,7 @@ ExperimentOptions golden_options(std::string_view case_name) {
 
 const std::vector<std::string_view>& golden_trace_cases() {
   static const std::vector<std::string_view> cases = {
-      "baseline", "chaos_drop10", "serving_burst"};
+      "baseline", "chaos_drop10", "serving_burst", "replay_roundtrip"};
   return cases;
 }
 
@@ -90,6 +93,28 @@ std::string run_golden_trace(std::string_view case_name) {
   // Fresh registry for the run itself: every pipeline component built by
   // run_experiment binds its metrics here and dies before the snapshot.
   telemetry::ScopedRegistry scope;
+  if (case_name == "replay_roundtrip") {
+    // Record a live run, replay its trace offline, and publish the
+    // byte-identity verdict (plus the stream shape) as counters. The live
+    // and replayed pipelines each run in their own nested registry, so
+    // this snapshot contains exactly the round-trip verdict — and the
+    // golden differ flags any future change that breaks replay
+    // determinism as a structural diff on these counters.
+    const RoundTripReport report = replay_roundtrip(
+        system, golden_scenario(), options, golden_training());
+    telemetry::Scope rscope("harness.replay", &scope.registry());
+    rscope.counter("trace_bytes").add(report.live.trace.size());
+    rscope.counter("frames_replayed").add(report.replayed.frames_delivered);
+    rscope.counter("explanations").add(report.replayed.explanations.size());
+    rscope.counter("degradations").add(report.replayed.degradations.size());
+    rscope.counter("attribution_bytes")
+        .add(report.live.attribution.bytes.size());
+    rscope.counter("attribution_digest").add(report.live.attribution.digest);
+    rscope.counter("bytes_identical").add(report.bytes_identical ? 1 : 0);
+    rscope.counter("telemetry_identical")
+        .add(report.telemetry_identical ? 1 : 0);
+    return scope.registry().snapshot_json();
+  }
   (void)run_experiment(system, golden_scenario(), options,
                        golden_training());
   return scope.registry().snapshot_json();

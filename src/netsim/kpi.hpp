@@ -19,6 +19,9 @@ struct SliceKpiReport {
 
   /// Slice-aggregate value of one KPI (sum over the slice's UEs).
   [[nodiscard]] double aggregate(Kpi kpi) const;
+
+  friend bool operator==(const SliceKpiReport&,
+                         const SliceKpiReport&) = default;
 };
 
 /// One E2 report: all slices, one window.
@@ -30,6 +33,8 @@ struct KpiReport {
   [[nodiscard]] double value(Kpi kpi, Slice slice) const {
     return slices[static_cast<std::size_t>(slice)].aggregate(kpi);
   }
+
+  friend bool operator==(const KpiReport&, const KpiReport&) = default;
 };
 
 }  // namespace explora::netsim

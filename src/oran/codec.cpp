@@ -1,110 +1,22 @@
 #include "oran/codec.hpp"
 
-#include "common/serialize.hpp"
+#include "oran/wire.hpp"
 
 namespace explora::oran {
 
-namespace {
-
-constexpr std::uint64_t kWireMagic = 0x453241502d4d5347ULL;  // "E2AP-MSG"
-// v2: RanControl grew a per-hop delivery `seq`, and RIC_CONTROL_ACK joined
-// the grammar (reliable control delivery under link impairments).
-constexpr std::uint32_t kWireVersion = 2;
-
-void write_report(common::BinaryWriter& writer,
-                  const netsim::KpiReport& report) {
-  writer.write_i64(report.window_end);
-  for (const auto& slice : report.slices) {
-    writer.write_f64_vector(slice.tx_bitrate_mbps);
-    writer.write_f64_vector(slice.tx_packets);
-    writer.write_f64_vector(slice.buffer_bytes);
-  }
-}
-
-[[nodiscard]] netsim::KpiReport read_report(common::BinaryReader& reader) {
-  netsim::KpiReport report;
-  report.window_end = reader.read_i64();
-  for (auto& slice : report.slices) {
-    slice.tx_bitrate_mbps = reader.read_f64_vector();
-    slice.tx_packets = reader.read_f64_vector();
-    slice.buffer_bytes = reader.read_f64_vector();
-  }
-  return report;
-}
-
-void write_control(common::BinaryWriter& writer,
-                   const netsim::SlicingControl& control) {
-  for (auto prbs : control.prbs) writer.write_u32(prbs);
-  for (auto policy : control.scheduling) {
-    writer.write_u32(static_cast<std::uint32_t>(policy));
-  }
-}
-
-[[nodiscard]] netsim::SlicingControl read_control(
-    common::BinaryReader& reader) {
-  netsim::SlicingControl control;
-  for (auto& prbs : control.prbs) prbs = reader.read_u32();
-  for (auto& policy : control.scheduling) {
-    const auto raw = reader.read_u32();
-    if (raw >= netsim::kNumSchedulerPolicies) {
-      throw common::SerializeError("invalid scheduler policy on the wire");
-    }
-    policy = static_cast<netsim::SchedulerPolicy>(raw);
-  }
-  return control;
-}
-
-}  // namespace
+// The legacy entry points now delegate to the shared oran/wire layer: one
+// field-list definition per type drives the tagged binary grammar, the
+// strict bounds-checked reader, unknown-field skip and version handling.
+// The old hand-rolled fixed-layout parser (with its own truncation
+// handling) is gone; RejectsTruncatedWire-style guarantees now come from
+// wire::Reader for every message type at once.
 
 std::vector<std::uint8_t> encode_message(const RicMessage& message) {
-  common::BinaryWriter writer(kWireMagic, kWireVersion);
-  writer.write_u32(static_cast<std::uint32_t>(message.type));
-  writer.write_string(message.sender);
-  switch (message.type) {
-    case MessageType::kKpmIndication:
-      write_report(writer, message.kpm().report);
-      break;
-    case MessageType::kRanControl:
-      write_control(writer, message.ran_control().control);
-      writer.write_u64(message.ran_control().decision_id);
-      writer.write_u64(message.ran_control().seq);
-      break;
-    case MessageType::kRanControlAck:
-      writer.write_u64(message.control_ack().seq);
-      break;
-  }
-  return writer.buffer();
+  return wire::encode_message_frame(message);
 }
 
-RicMessage decode_message(const std::vector<std::uint8_t>& wire) {
-  common::BinaryReader reader(wire, kWireMagic, kWireVersion);
-  const auto raw_type = reader.read_u32();
-  if (raw_type >= static_cast<std::uint32_t>(kNumMessageTypes)) {
-    throw common::SerializeError("unknown RIC message type on the wire");
-  }
-  RicMessage message;
-  message.type = static_cast<MessageType>(raw_type);
-  message.sender = reader.read_string();
-  switch (message.type) {
-    case MessageType::kKpmIndication:
-      message.payload = KpmIndication{read_report(reader)};
-      break;
-    case MessageType::kRanControl: {
-      RanControl control;
-      control.control = read_control(reader);
-      control.decision_id = reader.read_u64();
-      control.seq = reader.read_u64();
-      message.payload = control;
-      break;
-    }
-    case MessageType::kRanControlAck:
-      message.payload = RanControlAck{reader.read_u64()};
-      break;
-  }
-  if (!reader.at_end()) {
-    throw common::SerializeError("trailing bytes after RIC message");
-  }
-  return message;
+RicMessage decode_message(const std::vector<std::uint8_t>& bytes) {
+  return wire::decode_message_frame(bytes);
 }
 
 }  // namespace explora::oran

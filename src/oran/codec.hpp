@@ -3,6 +3,11 @@
 // in-process router passes RicMessage by value; this codec exists for the
 // boundaries where messages leave the process (persistence, cross-process
 // xApps, trace capture) and as the reference for the message grammar.
+//
+// Since the oran/wire layer landed, these entry points are thin wrappers
+// over wire::encode_message_frame / wire::decode_message_frame: the
+// field-tag/varint grammar, version header, unknown-field skip and strict
+// bounds-checked decode all live there (DESIGN.md §13).
 #pragma once
 
 #include <cstdint>

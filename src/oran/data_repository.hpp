@@ -21,6 +21,9 @@ struct ExplanationRecord {
   netsim::SlicingControl enforced;   ///< action actually sent to the RAN
   bool replaced = false;
   std::string explanation;           ///< human-readable rationale
+
+  friend bool operator==(const ExplanationRecord&,
+                         const ExplanationRecord&) = default;
 };
 
 /// One archived degradation event from the EXPLORA xApp's unified
@@ -45,6 +48,9 @@ struct DegradationRecord {
   std::uint8_t tier_from = 0;
   std::uint8_t tier_to = 0;
   std::string detail;                  ///< human-readable context
+
+  friend bool operator==(const DegradationRecord&,
+                         const DegradationRecord&) = default;
 };
 
 [[nodiscard]] std::string to_string(DegradationRecord::Phase phase);

@@ -27,6 +27,9 @@ inline constexpr std::size_t kNumMessageTypes = 3;
 /// E2 Service Model KPM indication payload.
 struct KpmIndication {
   netsim::KpiReport report;
+
+  friend bool operator==(const KpmIndication&,
+                         const KpmIndication&) = default;
 };
 
 /// E2 Service Model RAN-Control payload.
@@ -38,12 +41,17 @@ struct RanControl {
   /// (ReliableControlSender). 0 = unsequenced legacy send: applied
   /// unconditionally, never ACKed, never deduplicated.
   std::uint64_t seq = 0;
+
+  friend bool operator==(const RanControl&, const RanControl&) = default;
 };
 
 /// RIC_CONTROL_ACK payload: confirms receipt of the control carrying `seq`.
 /// Routed back to the transmitting endpoint by (type, acker) routes.
 struct RanControlAck {
   std::uint64_t seq = 0;
+
+  friend bool operator==(const RanControlAck&,
+                         const RanControlAck&) = default;
 };
 
 /// One RIC-internal message with its routing metadata.
@@ -61,6 +69,8 @@ struct RicMessage {
   [[nodiscard]] const RanControlAck& control_ack() const {
     return std::get<RanControlAck>(payload);
   }
+
+  friend bool operator==(const RicMessage&, const RicMessage&) = default;
 };
 
 /// Builds a KPM indication message.

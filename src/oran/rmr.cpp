@@ -160,6 +160,7 @@ void RmrRouter::deliver(const RicMessage& message, const std::string& target) {
   EXPLORA_ASSERT(it != endpoints_.end());
   ++delivery_counts_[target];
   tm_delivered_->add(1);
+  if (tap_ != nullptr) tap_->on_deliver(message, target, round_);
   it->second->on_message(message);
 }
 

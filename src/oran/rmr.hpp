@@ -40,6 +40,17 @@ class RmrEndpoint {
   virtual void on_message(const RicMessage& message) = 0;
 };
 
+/// Observer of successful deliveries (trace capture). The tap fires once
+/// per delivered (message, target) pair, in delivery order, immediately
+/// before the endpoint handler runs — so a recorded stream replayed into
+/// an endpoint presents exactly the inputs the live endpoint saw.
+class DeliveryTap {
+ public:
+  virtual ~DeliveryTap() = default;
+  virtual void on_deliver(const RicMessage& message, std::string_view target,
+                          std::uint64_t round) = 0;
+};
+
 class RmrRouter {
  public:
   RmrRouter();
@@ -71,6 +82,11 @@ class RmrRouter {
     return impairments_.get();
   }
   void clear_impairments() noexcept { impairments_.reset(); }
+
+  /// Installs (or clears, with nullptr) the delivery tap. Non-owning; the
+  /// tap must outlive the router's use or be cleared first.
+  void set_delivery_tap(DeliveryTap* tap) noexcept { tap_ = tap; }
+  [[nodiscard]] DeliveryTap* delivery_tap() const noexcept { return tap_; }
 
   /// Releases every still-held delayed message immediately and drains the
   /// queue (end-of-run cleanup for chaos harnesses).
@@ -132,6 +148,7 @@ class RmrRouter {
   std::deque<Envelope> queue_;
   std::vector<HeldEnvelope> held_;
   std::unique_ptr<LinkImpairments> impairments_;
+  DeliveryTap* tap_ = nullptr;
   std::uint64_t round_ = 0;
   bool dispatching_ = false;
 

@@ -1,0 +1,188 @@
+#include "oran/trace.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/format.hpp"
+#include "oran/wire.hpp"
+
+namespace explora::oran::wire {
+namespace {
+
+/// Trace-file header payload (field ids are frozen wire contract).
+struct TraceHeader {
+  std::string label;
+};
+
+}  // namespace
+
+template <typename V>
+void wire_fields(V& v, TraceHeader& h) {
+  v.str(1, "label", h.label);
+}
+
+template <typename V>
+void wire_fields(V& v, TraceFrame& f) {
+  v.i64(1, "tick", f.tick);
+  v.u64(2, "round", f.round);
+  v.str(3, "target", f.target);
+  v.blob(4, "message", f.message);
+}
+
+}  // namespace explora::oran::wire
+
+namespace explora::oran {
+
+using common::SerializeError;
+
+RicMessage TraceFrame::decode() const {
+  return wire::decode_message_frame(message);
+}
+
+TraceRecorder::TraceRecorder(std::string label) : label_(std::move(label)) {}
+
+void TraceRecorder::on_deliver(const RicMessage& message,
+                               std::string_view target, std::uint64_t round) {
+  TraceFrame frame;
+  frame.tick = tick_source_ ? tick_source_() : 0;
+  frame.round = round;
+  frame.target.assign(target);
+  frame.message = wire::encode_message_frame(message);
+  message_bytes_ += frame.message.size();
+  frames_.push_back(std::move(frame));
+}
+
+namespace {
+
+/// Appends one length-prefixed tagged-field body.
+template <typename T>
+void append_sized_body(wire::Writer& writer, T& value) {
+  wire::Writer body;
+  wire::Encoder encoder(body);
+  wire_fields(encoder, value);
+  writer.varint(body.size());
+  writer.raw(body.buffer());
+}
+
+/// Reads one length-prefixed body and decodes it into `out`.
+template <typename T>
+void read_sized_body(wire::Reader& reader, T& out) {
+  const auto bytes = reader.bytes();
+  wire::Reader body(bytes);
+  wire::decode_fields(body, out);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> TraceRecorder::serialize() const {
+  wire::Writer writer;
+  writer.byte(static_cast<std::uint8_t>(kTraceMagic & 0xFF));
+  writer.byte(static_cast<std::uint8_t>((kTraceMagic >> 8) & 0xFF));
+  writer.byte(static_cast<std::uint8_t>((kTraceMagic >> 16) & 0xFF));
+  writer.byte(static_cast<std::uint8_t>((kTraceMagic >> 24) & 0xFF));
+  writer.byte(kTraceMajor);
+  writer.byte(kTraceMinor);
+  wire::TraceHeader header{label_};
+  append_sized_body(writer, header);
+  for (const TraceFrame& frame : frames_) {
+    append_sized_body(writer, const_cast<TraceFrame&>(frame));
+  }
+  return std::move(writer).take();
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = serialize();
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw SerializeError(
+        common::format("cannot open trace file '{}' for writing", tmp));
+  }
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw SerializeError(
+        common::format("short write to trace file '{}'", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SerializeError(
+        common::format("cannot move trace file into place at '{}'", path));
+  }
+}
+
+TraceReplaySource TraceReplaySource::parse(std::span<const std::uint8_t> data) {
+  wire::Reader reader(data);
+  std::uint32_t magic = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    magic |= static_cast<std::uint32_t>(reader.byte()) << shift;
+  }
+  if (magic != kTraceMagic) {
+    throw SerializeError("bad trace magic (not an .etrace stream)");
+  }
+  const std::uint8_t major = reader.byte();
+  [[maybe_unused]] const std::uint8_t minor = reader.byte();
+  if (major != kTraceMajor) {
+    throw SerializeError(common::format(
+        "incompatible trace format: file has major version {}, this reader "
+        "supports major version {}",
+        major, kTraceMajor));
+  }
+  TraceReplaySource out;
+  wire::TraceHeader header;
+  read_sized_body(reader, header);
+  out.label_ = std::move(header.label);
+  while (!reader.at_end()) {
+    TraceFrame frame;
+    read_sized_body(reader, frame);
+    out.frames_.push_back(std::move(frame));
+  }
+  return out;
+}
+
+TraceReplaySource TraceReplaySource::load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw SerializeError(
+        common::format("cannot open trace file '{}' for reading", path));
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    throw SerializeError(
+        common::format("error reading trace file '{}'", path));
+  }
+  return parse(bytes);
+}
+
+std::vector<const TraceFrame*> TraceReplaySource::frames_for(
+    std::string_view target) const {
+  std::vector<const TraceFrame*> matches;
+  for (const TraceFrame& frame : frames_) {
+    if (frame.target == target) matches.push_back(&frame);
+  }
+  return matches;
+}
+
+std::size_t TraceReplaySource::replay_into(
+    RmrEndpoint& endpoint, std::string_view target,
+    const std::function<void(std::int64_t)>& on_tick) const {
+  std::size_t delivered = 0;
+  for (const TraceFrame& frame : frames_) {
+    if (frame.target != target) continue;
+    if (on_tick) on_tick(frame.tick);
+    endpoint.on_message(frame.decode());
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace explora::oran

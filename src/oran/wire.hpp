@@ -1,0 +1,636 @@
+// The versioned binary wire layer (DESIGN.md §13): a field-tag/varint
+// serialization format in the spirit of protobuf wire encoding, driven by
+// one per-type field list — `wire_fields(visitor, value)` — that a binary
+// encoder, a strict bounds-checked decoder and a JSON view all walk. This
+// replaces per-type hand-rolled parsers (the old oran/codec byte layout)
+// with a single grammar:
+//
+//   frame   := magic:u32le major:u8 minor:u8 field*
+//   field   := tag:varint value
+//   tag     := field_id << 3 | wire_type      (field_id >= 1)
+//   value   := varint                          (wire_type 0)
+//            | fixed64                         (wire_type 1)
+//            | len:varint byte[len]            (wire_type 2)
+//
+// Compatibility rules: a decoder skips fields it does not know (minor
+// version growth is free); a frame whose *major* version differs from the
+// decoder's is rejected with an error naming both versions. Decoding is
+// strict: every length is bounds-checked against the remaining input,
+// varints longer than 10 bytes, unknown wire types, out-of-range enum
+// values and mismatched field wire types all throw common::SerializeError
+// — malformed input can never touch memory out of bounds.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "netsim/kpi.hpp"
+#include "oran/data_repository.hpp"
+#include "oran/messages.hpp"
+
+namespace explora::oran::wire {
+
+using common::SerializeError;
+
+/// Frame magic: "EWIR" as a little-endian u32.
+inline constexpr std::uint32_t kFrameMagic = 0x52495745u;
+/// Format major version: decoders reject frames with a different major.
+inline constexpr std::uint8_t kWireMajor = 1;
+/// Format minor version: newer minors may add fields; old decoders skip
+/// them, old frames simply lack them.
+inline constexpr std::uint8_t kWireMinor = 0;
+
+/// The three value encodings a tag can announce.
+enum class WireType : std::uint8_t {
+  kVarint = 0,
+  kFixed64 = 1,
+  kBytes = 2,
+};
+
+[[nodiscard]] std::string to_string(WireType type);
+
+/// Append-only tagged-field encoder (no header; frames add their own).
+class Writer {
+ public:
+  void varint(std::uint64_t v);
+  /// ZigZag-encoded signed varint (small magnitudes stay small).
+  void zigzag(std::int64_t v);
+  void fixed64(std::uint64_t v);
+  void byte(std::uint8_t v);
+  void raw(std::span<const std::uint8_t> bytes);
+  void tag(std::uint32_t field_id, WireType type);
+
+  void u64_field(std::uint32_t field_id, std::uint64_t v);
+  void i64_field(std::uint32_t field_id, std::int64_t v);
+  void bool_field(std::uint32_t field_id, bool v);
+  void f64_field(std::uint32_t field_id, double v);
+  void bytes_field(std::uint32_t field_id, std::span<const std::uint8_t> v);
+  void string_field(std::uint32_t field_id, std::string_view v);
+  /// Packed doubles: one bytes field holding size * 8 raw little-endian
+  /// IEEE-754 values.
+  void f64_list_field(std::uint32_t field_id, std::span<const double> v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const& noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && noexcept {
+    return std::move(buffer_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Strict sequential decoder over a borrowed byte span. Every read is
+/// bounds-checked; all failures throw SerializeError, never read out of
+/// bounds. The span must outlive the reader.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::int64_t zigzag();
+  [[nodiscard]] std::uint64_t fixed64();
+  [[nodiscard]] std::uint8_t byte();
+
+  struct Tag {
+    std::uint32_t field_id = 0;
+    WireType type = WireType::kVarint;
+  };
+  /// Reads and validates one field tag (field_id >= 1, known wire type).
+  [[nodiscard]] Tag tag();
+
+  /// Length-prefixed bytes; the returned span borrows from the input.
+  [[nodiscard]] std::span<const std::uint8_t> bytes();
+
+  /// Skips one value of the given wire type (unknown-field tolerance).
+  void skip(WireType type);
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes the frame header (magic + format version) onto a writer.
+void write_frame_header(Writer& writer);
+
+struct FrameVersion {
+  std::uint8_t major = 0;
+  std::uint8_t minor = 0;
+};
+
+/// Reads and validates a frame header. Throws on bad magic; throws an
+/// error naming both versions when the major version is incompatible.
+FrameVersion read_frame_header(Reader& reader);
+
+// ---------------------------------------------------------------------------
+// Visitors. Each serializable type defines exactly one
+//   template <typename V> void wire_fields(V& v, T& value)
+// listing (field_id, name, member) triples; Encoder, Decoder and JsonView
+// below interpret that list. Field ids are part of the wire contract:
+// never reuse or renumber them — add new ids and bump kWireMinor.
+// ---------------------------------------------------------------------------
+
+template <typename V, typename T>
+void wire_fields(V& v, T& value);  // primary template: specialized below
+
+/// Binary encoding pass over a field list.
+class Encoder {
+ public:
+  explicit Encoder(Writer& writer) noexcept : writer_(&writer) {}
+
+  void u64(std::uint32_t id, const char* /*name*/, std::uint64_t& v) {
+    writer_->u64_field(id, v);
+  }
+  void u8(std::uint32_t id, const char* /*name*/, std::uint8_t& v) {
+    writer_->u64_field(id, v);
+  }
+  void i64(std::uint32_t id, const char* /*name*/, std::int64_t& v) {
+    writer_->i64_field(id, v);
+  }
+  void boolean(std::uint32_t id, const char* /*name*/, bool& v) {
+    writer_->bool_field(id, v);
+  }
+  void f64(std::uint32_t id, const char* /*name*/, double& v) {
+    writer_->f64_field(id, v);
+  }
+  void str(std::uint32_t id, const char* /*name*/, std::string& v) {
+    writer_->string_field(id, v);
+  }
+  template <typename E>
+  void enumeration(std::uint32_t id, const char* /*name*/, E& v,
+                   std::uint64_t /*max_value*/) {
+    writer_->u64_field(id, static_cast<std::uint64_t>(v));
+  }
+  void f64_list(std::uint32_t id, const char* /*name*/,
+                std::vector<double>& v) {
+    writer_->f64_list_field(id, v);
+  }
+  void blob(std::uint32_t id, const char* /*name*/,
+            std::vector<std::uint8_t>& v) {
+    writer_->bytes_field(id, v);
+  }
+  template <typename T>
+  void msg(std::uint32_t id, const char* /*name*/, T& v) {
+    Writer sub;
+    Encoder nested(sub);
+    wire_fields(nested, v);
+    writer_->bytes_field(id, sub.buffer());
+  }
+  template <typename T, std::size_t N>
+  void msg_array(std::uint32_t id, const char* name, std::array<T, N>& v) {
+    for (T& element : v) msg(id, name, element);
+  }
+  template <typename T>
+  void msg_list(std::uint32_t id, const char* name, std::vector<T>& v) {
+    for (T& element : v) msg(id, name, element);
+  }
+  template <std::size_t N>
+  void u32_array(std::uint32_t id, const char* /*name*/,
+                 std::array<std::uint32_t, N>& v) {
+    for (const std::uint32_t element : v) writer_->u64_field(id, element);
+  }
+  template <typename E, std::size_t N>
+  void enum_array(std::uint32_t id, const char* /*name*/, std::array<E, N>& v,
+                  std::uint64_t /*max_value*/) {
+    for (const E element : v) {
+      writer_->u64_field(id, static_cast<std::uint64_t>(element));
+    }
+  }
+  template <typename Alt, typename... Ts>
+  void variant_alt(std::uint32_t id, const char* name,
+                   std::variant<Ts...>& v) {
+    if (auto* alt = std::get_if<Alt>(&v)) msg(id, name, *alt);
+  }
+
+ private:
+  Writer* writer_;
+};
+
+/// One-field match pass: constructed per incoming tag, walks the field
+/// list and decodes the member whose id matches; repeated fields use the
+/// occurrence index maintained by decode_fields.
+class Decoder {
+ public:
+  Decoder(Reader& reader, std::uint32_t field_id, WireType type,
+          std::size_t occurrence) noexcept
+      : reader_(&reader),
+        field_id_(field_id),
+        type_(type),
+        occurrence_(occurrence) {}
+
+  [[nodiscard]] bool matched() const noexcept { return matched_; }
+
+  void u64(std::uint32_t id, const char* name, std::uint64_t& v) {
+    if (!take(id)) return;
+    expect(WireType::kVarint, name);
+    v = reader_->varint();
+  }
+  void u8(std::uint32_t id, const char* name, std::uint8_t& v) {
+    if (!take(id)) return;
+    expect(WireType::kVarint, name);
+    const std::uint64_t raw = reader_->varint();
+    if (raw > 0xFF) throw_out_of_range(name, raw, 0xFF);
+    v = static_cast<std::uint8_t>(raw);
+  }
+  void i64(std::uint32_t id, const char* name, std::int64_t& v) {
+    if (!take(id)) return;
+    expect(WireType::kVarint, name);
+    v = reader_->zigzag();
+  }
+  void boolean(std::uint32_t id, const char* name, bool& v) {
+    if (!take(id)) return;
+    expect(WireType::kVarint, name);
+    const std::uint64_t raw = reader_->varint();
+    if (raw > 1) throw_out_of_range(name, raw, 1);
+    v = raw != 0;
+  }
+  void f64(std::uint32_t id, const char* name, double& v) {
+    if (!take(id)) return;
+    expect(WireType::kFixed64, name);
+    v = std::bit_cast<double>(reader_->fixed64());
+  }
+  void str(std::uint32_t id, const char* name, std::string& v) {
+    if (!take(id)) return;
+    expect(WireType::kBytes, name);
+    const auto bytes = reader_->bytes();
+    v.assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+  template <typename E>
+  void enumeration(std::uint32_t id, const char* name, E& v,
+                   std::uint64_t max_value) {
+    if (!take(id)) return;
+    expect(WireType::kVarint, name);
+    const std::uint64_t raw = reader_->varint();
+    if (raw > max_value) throw_out_of_range(name, raw, max_value);
+    v = static_cast<E>(raw);
+  }
+  void f64_list(std::uint32_t id, const char* name, std::vector<double>& v) {
+    if (!take(id)) return;
+    expect(WireType::kBytes, name);
+    const auto bytes = reader_->bytes();
+    if (bytes.size() % sizeof(double) != 0) {
+      throw SerializeError(std::string("packed double list '") + name +
+                           "' has a length that is not a multiple of 8");
+    }
+    v.assign(bytes.size() / sizeof(double), 0.0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      std::uint64_t raw = 0;
+      for (std::size_t b = 0; b < sizeof(double); ++b) {
+        raw |= static_cast<std::uint64_t>(bytes[i * sizeof(double) + b])
+               << (8 * b);
+      }
+      v[i] = std::bit_cast<double>(raw);
+    }
+  }
+  void blob(std::uint32_t id, const char* name, std::vector<std::uint8_t>& v) {
+    if (!take(id)) return;
+    expect(WireType::kBytes, name);
+    const auto bytes = reader_->bytes();
+    v.assign(bytes.begin(), bytes.end());
+  }
+  template <typename T>
+  void msg(std::uint32_t id, const char* name, T& v) {
+    if (!take(id)) return;
+    expect(WireType::kBytes, name);
+    decode_nested(v);
+  }
+  template <typename T, std::size_t N>
+  void msg_array(std::uint32_t id, const char* name, std::array<T, N>& v) {
+    if (!take(id)) return;
+    expect(WireType::kBytes, name);
+    if (occurrence_ >= N) throw_too_many(name, N);
+    decode_nested(v[occurrence_]);
+  }
+  template <typename T>
+  void msg_list(std::uint32_t id, const char* name, std::vector<T>& v) {
+    if (!take(id)) return;
+    expect(WireType::kBytes, name);
+    v.emplace_back();
+    decode_nested(v.back());
+  }
+  template <std::size_t N>
+  void u32_array(std::uint32_t id, const char* name,
+                 std::array<std::uint32_t, N>& v) {
+    if (!take(id)) return;
+    expect(WireType::kVarint, name);
+    if (occurrence_ >= N) throw_too_many(name, N);
+    const std::uint64_t raw = reader_->varint();
+    if (raw > 0xFFFFFFFFull) throw_out_of_range(name, raw, 0xFFFFFFFFull);
+    v[occurrence_] = static_cast<std::uint32_t>(raw);
+  }
+  template <typename E, std::size_t N>
+  void enum_array(std::uint32_t id, const char* name, std::array<E, N>& v,
+                  std::uint64_t max_value) {
+    if (!take(id)) return;
+    expect(WireType::kVarint, name);
+    if (occurrence_ >= N) throw_too_many(name, N);
+    const std::uint64_t raw = reader_->varint();
+    if (raw > max_value) throw_out_of_range(name, raw, max_value);
+    v[occurrence_] = static_cast<E>(raw);
+  }
+  template <typename Alt, typename... Ts>
+  void variant_alt(std::uint32_t id, const char* name,
+                   std::variant<Ts...>& v) {
+    if (!take(id)) return;
+    expect(WireType::kBytes, name);
+    decode_nested(v.template emplace<Alt>());
+  }
+
+ private:
+  [[nodiscard]] bool take(std::uint32_t id) noexcept {
+    if (matched_ || id != field_id_) return false;
+    matched_ = true;
+    return true;
+  }
+  void expect(WireType type, const char* name) const {
+    if (type_ != type) {
+      throw SerializeError(std::string("field '") + name + "' has wire type " +
+                           to_string(type_) + " (expected " + to_string(type) +
+                           ")");
+    }
+  }
+  [[noreturn]] static void throw_out_of_range(const char* name,
+                                              std::uint64_t raw,
+                                              std::uint64_t max_value);
+  [[noreturn]] static void throw_too_many(const char* name, std::size_t max);
+  template <typename T>
+  void decode_nested(T& out);
+
+  Reader* reader_;
+  std::uint32_t field_id_;
+  WireType type_;
+  std::size_t occurrence_;
+  bool matched_ = false;
+};
+
+/// Decodes tagged fields from `reader` (until end of input) into `out`.
+/// Unknown field ids are skipped; repeated fields fill array slots in
+/// arrival order; scalar re-occurrences are last-wins.
+template <typename T>
+void decode_fields(Reader& reader, T& out) {
+  // Tiny linear (field_id -> occurrence) map: field lists are short and
+  // this is not a realtime path.
+  std::vector<std::pair<std::uint32_t, std::size_t>> occurrences;
+  while (!reader.at_end()) {
+    const Reader::Tag tag = reader.tag();
+    std::size_t* slot = nullptr;
+    for (auto& [id, count] : occurrences) {
+      if (id == tag.field_id) {
+        slot = &count;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      occurrences.emplace_back(tag.field_id, 0);
+      slot = &occurrences.back().second;
+    }
+    Decoder decoder(reader, tag.field_id, tag.type, *slot);
+    wire_fields(decoder, out);
+    if (!decoder.matched()) {
+      reader.skip(tag.type);
+    } else {
+      ++*slot;
+    }
+  }
+}
+
+template <typename T>
+void Decoder::decode_nested(T& out) {
+  const auto bytes = reader_->bytes();
+  Reader nested(bytes);
+  decode_fields(nested, out);
+}
+
+/// JSON rendering pass over the same field list (the human-readable view
+/// of any wire-encodable value; object keys follow field-list order).
+class JsonView {
+ public:
+  explicit JsonView(std::string& out) noexcept : out_(&out) {}
+
+  void u64(std::uint32_t, const char* name, std::uint64_t& v);
+  void u8(std::uint32_t, const char* name, std::uint8_t& v);
+  void i64(std::uint32_t, const char* name, std::int64_t& v);
+  void boolean(std::uint32_t, const char* name, bool& v);
+  void f64(std::uint32_t, const char* name, double& v);
+  void str(std::uint32_t, const char* name, std::string& v);
+  template <typename E>
+  void enumeration(std::uint32_t id, const char* name, E& v,
+                   std::uint64_t /*max_value*/) {
+    auto raw = static_cast<std::uint64_t>(v);
+    u64(id, name, raw);
+  }
+  void f64_list(std::uint32_t, const char* name, std::vector<double>& v);
+  /// Opaque bytes render as a lowercase hex string.
+  void blob(std::uint32_t, const char* name, std::vector<std::uint8_t>& v);
+  template <typename T>
+  void msg(std::uint32_t, const char* name, T& v) {
+    key(name);
+    append_object(v);
+  }
+  template <typename T, std::size_t N>
+  void msg_array(std::uint32_t, const char* name, std::array<T, N>& v) {
+    key(name);
+    *out_ += '[';
+    for (std::size_t i = 0; i < N; ++i) {
+      if (i > 0) *out_ += ", ";
+      append_object(v[i]);
+    }
+    *out_ += ']';
+  }
+  template <typename T>
+  void msg_list(std::uint32_t, const char* name, std::vector<T>& v) {
+    key(name);
+    *out_ += '[';
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) *out_ += ", ";
+      append_object(v[i]);
+    }
+    *out_ += ']';
+  }
+  template <std::size_t N>
+  void u32_array(std::uint32_t, const char* name,
+                 std::array<std::uint32_t, N>& v) {
+    key(name);
+    *out_ += '[';
+    for (std::size_t i = 0; i < N; ++i) {
+      if (i > 0) *out_ += ", ";
+      append_u64(v[i]);
+    }
+    *out_ += ']';
+  }
+  template <typename E, std::size_t N>
+  void enum_array(std::uint32_t, const char* name, std::array<E, N>& v,
+                  std::uint64_t /*max_value*/) {
+    key(name);
+    *out_ += '[';
+    for (std::size_t i = 0; i < N; ++i) {
+      if (i > 0) *out_ += ", ";
+      append_u64(static_cast<std::uint64_t>(v[i]));
+    }
+    *out_ += ']';
+  }
+  template <typename Alt, typename... Ts>
+  void variant_alt(std::uint32_t, const char* name, std::variant<Ts...>& v) {
+    if (auto* alt = std::get_if<Alt>(&v)) {
+      key(name);
+      append_object(*alt);
+    }
+  }
+
+ private:
+  void key(const char* name);
+  void append_u64(std::uint64_t v);
+  template <typename T>
+  void append_object(T& v) {
+    *out_ += '{';
+    JsonView nested(*out_);
+    wire_fields(nested, v);
+    *out_ += '}';
+  }
+
+  std::string* out_;
+  bool first_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Frame-level API.
+// ---------------------------------------------------------------------------
+
+/// Encodes a value as one self-contained versioned frame.
+template <typename T>
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const T& value) {
+  Writer writer;
+  write_frame_header(writer);
+  Encoder encoder(writer);
+  // The encode pass only reads; the shared field list is declared on
+  // mutable references so the decode pass can write through it.
+  wire_fields(encoder, const_cast<T&>(value));
+  return std::move(writer).take();
+}
+
+/// Decodes one versioned frame. Throws SerializeError on malformed input,
+/// truncation, or an incompatible major version.
+template <typename T>
+[[nodiscard]] T decode_frame(std::span<const std::uint8_t> data) {
+  Reader reader(data);
+  (void)read_frame_header(reader);
+  T out{};
+  decode_fields(reader, out);
+  return out;
+}
+
+/// JSON view of any wire-encodable value (no frame header; a plain
+/// object in field-list order).
+template <typename T>
+[[nodiscard]] std::string to_json(const T& value) {
+  std::string out;
+  out += '{';
+  JsonView view(out);
+  wire_fields(view, const_cast<T&>(value));
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Field lists. One definition per type; binary codec and JSON view both
+// derive from it. Ids are frozen wire contract.
+// ---------------------------------------------------------------------------
+
+template <typename V>
+void wire_fields(V& v, netsim::SliceKpiReport& s) {
+  v.f64_list(1, "tx_bitrate_mbps", s.tx_bitrate_mbps);
+  v.f64_list(2, "tx_packets", s.tx_packets);
+  v.f64_list(3, "buffer_bytes", s.buffer_bytes);
+}
+
+template <typename V>
+void wire_fields(V& v, netsim::KpiReport& r) {
+  v.i64(1, "window_end", r.window_end);
+  v.msg_array(2, "slices", r.slices);
+}
+
+template <typename V>
+void wire_fields(V& v, netsim::SlicingControl& c) {
+  v.u32_array(1, "prbs", c.prbs);
+  v.enum_array(2, "scheduling", c.scheduling,
+               netsim::kNumSchedulerPolicies - 1);
+}
+
+template <typename V>
+void wire_fields(V& v, KpmIndication& m) {
+  v.msg(1, "report", m.report);
+}
+
+template <typename V>
+void wire_fields(V& v, RanControl& m) {
+  v.msg(1, "control", m.control);
+  v.u64(2, "decision_id", m.decision_id);
+  v.u64(3, "seq", m.seq);
+}
+
+template <typename V>
+void wire_fields(V& v, RanControlAck& m) {
+  v.u64(1, "seq", m.seq);
+}
+
+template <typename V>
+void wire_fields(V& v, RicMessage& m) {
+  v.enumeration(1, "type", m.type, kNumMessageTypes - 1);
+  v.str(2, "sender", m.sender);
+  v.template variant_alt<KpmIndication>(3, "kpm", m.payload);
+  v.template variant_alt<RanControl>(4, "ran_control", m.payload);
+  v.template variant_alt<RanControlAck>(5, "control_ack", m.payload);
+}
+
+template <typename V>
+void wire_fields(V& v, ExplanationRecord& r) {
+  v.u64(1, "decision_id", r.decision_id);
+  v.msg(2, "proposed", r.proposed);
+  v.msg(3, "enforced", r.enforced);
+  v.boolean(4, "replaced", r.replaced);
+  v.str(5, "explanation", r.explanation);
+}
+
+template <typename V>
+void wire_fields(V& v, DegradationRecord& r) {
+  v.enumeration(1, "phase", r.phase, 3);
+  v.i64(2, "detected_at", r.detected_at);
+  v.u64(3, "missed_windows", r.missed_windows);
+  v.u8(4, "tier_from", r.tier_from);
+  v.u8(5, "tier_to", r.tier_to);
+  v.str(6, "detail", r.detail);
+}
+
+// ---------------------------------------------------------------------------
+// RicMessage convenience entry points (type/payload cross-validation).
+// ---------------------------------------------------------------------------
+
+/// Wire frame for one RIC message.
+[[nodiscard]] std::vector<std::uint8_t> encode_message_frame(
+    const RicMessage& message);
+
+/// Decodes a RIC message frame, additionally verifying that the payload
+/// alternative matches the declared message type.
+[[nodiscard]] RicMessage decode_message_frame(
+    std::span<const std::uint8_t> data);
+
+}  // namespace explora::oran::wire

@@ -1,33 +1,21 @@
-// Tests for the RIC message wire codec (oran/codec).
+// Tests for the RIC message codec entry points (oran/codec), which
+// delegate to the shared oran/wire layer. Message fixtures live in
+// tests/support/wire_fixtures.hpp, shared with test_wire, test_replay and
+// the codec property sweeps.
 #include "oran/codec.hpp"
 
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
+#include "oran/wire.hpp"
+#include "support/wire_fixtures.hpp"
 
 namespace explora::oran {
 namespace {
 
-netsim::KpiReport sample_report() {
-  netsim::KpiReport report;
-  report.window_end = 12345;
-  for (std::size_t s = 0; s < netsim::kNumSlices; ++s) {
-    report.slices[s].tx_bitrate_mbps = {1.5 + static_cast<double>(s), 0.25};
-    report.slices[s].tx_packets = {10.0 * static_cast<double>(s + 1)};
-    report.slices[s].buffer_bytes = {1000.0, 2000.0, 0.0};
-  }
-  return report;
-}
-
-netsim::SlicingControl sample_control() {
-  netsim::SlicingControl control;
-  control.prbs = {36, 3, 11};
-  control.scheduling = {netsim::SchedulerPolicy::kProportionalFair,
-                        netsim::SchedulerPolicy::kRoundRobin,
-                        netsim::SchedulerPolicy::kWaterfilling};
-  return control;
-}
+using testfix::sample_control;
+using testfix::sample_report;
 
 TEST(Codec, KpmIndicationRoundTrip) {
   const RicMessage original = make_kpm_indication("e2term", sample_report());
@@ -84,13 +72,41 @@ TEST(Codec, RejectsTrailingGarbage) {
   EXPECT_THROW((void)decode_message(wire), common::SerializeError);
 }
 
-TEST(Codec, RejectsCorruptedSchedulerPolicy) {
-  auto wire = encode_message(make_ran_control("x", sample_control(), 1));
-  // The three scheduler u32s sit before the trailing decision_id + seq u64s.
-  const std::size_t policy_offset =
-      wire.size() - 2 * sizeof(std::uint64_t) - 4;
-  wire[policy_offset] = 0x7F;
-  EXPECT_THROW((void)decode_message(wire), common::SerializeError);
+TEST(Codec, RejectsOutOfRangeSchedulerPolicy) {
+  // Hand-assemble a RanControl frame whose scheduling enum carries a value
+  // past kNumSchedulerPolicies - 1. Unlike guessing a byte offset into the
+  // encoder's output, this pins the contract directly: out-of-range enum
+  // values are rejected wherever they appear in the tagged stream.
+  wire::Writer control_body;
+  control_body.u64_field(1, 36);  // prbs
+  control_body.u64_field(1, 3);
+  control_body.u64_field(1, 11);
+  control_body.u64_field(2, netsim::kNumSchedulerPolicies);  // out of range
+  wire::Writer ran_control;
+  ran_control.bytes_field(1, control_body.buffer());
+  ran_control.u64_field(2, 1);  // decision_id
+  wire::Writer frame;
+  wire::write_frame_header(frame);
+  frame.u64_field(1, static_cast<std::uint64_t>(MessageType::kRanControl));
+  frame.string_field(2, "x");
+  frame.bytes_field(4, ran_control.buffer());
+  EXPECT_THROW((void)decode_message(frame.buffer()),
+               common::SerializeError);
+}
+
+TEST(Codec, RejectsMismatchedTypeAndPayload) {
+  // Declared type says ACK but the payload alternative present is a
+  // RanControl: the frame decodes structurally, then the cross-validation
+  // in decode_message_frame must reject it.
+  wire::Writer ran_control;
+  ran_control.u64_field(2, 5);  // decision_id only
+  wire::Writer frame;
+  wire::write_frame_header(frame);
+  frame.u64_field(1, static_cast<std::uint64_t>(MessageType::kRanControlAck));
+  frame.string_field(2, "x");
+  frame.bytes_field(4, ran_control.buffer());  // field 4 = ran_control
+  EXPECT_THROW((void)decode_message(frame.buffer()),
+               common::SerializeError);
 }
 
 TEST(Codec, RejectsWrongMagic) {

@@ -35,10 +35,11 @@ std::string read_golden(std::string_view case_name) {
 
 TEST(GoldenTrace, CasesAreRegistered) {
   const auto& cases = golden_trace_cases();
-  ASSERT_EQ(cases.size(), 3u);
+  ASSERT_EQ(cases.size(), 4u);
   EXPECT_EQ(cases[0], "baseline");
   EXPECT_EQ(cases[1], "chaos_drop10");
   EXPECT_EQ(cases[2], "serving_burst");
+  EXPECT_EQ(cases[3], "replay_roundtrip");
 }
 
 TEST(GoldenTrace, RepeatRunsAreByteIdentical) {

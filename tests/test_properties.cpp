@@ -18,6 +18,8 @@
 #include "harness/training.hpp"
 #include "ml/ppo.hpp"
 #include "netsim/scenario.hpp"
+#include "oran/wire.hpp"
+#include "support/wire_fixtures.hpp"
 
 namespace explora {
 namespace {
@@ -552,6 +554,74 @@ TEST_P(ServingLadderSweep, BreakerSequencingIsDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServingLadderSweep,
                          ::testing::Values(2u, 29u, 311u, 9001u));
+
+// ---------------------------------------------------------------------------
+// Wire codec properties under seeded random messages (DESIGN.md §13).
+// Iteration counts scale with EXPLORA_FUZZ_ITERS — the CI wire-fuzz job
+// runs these sweeps large under ubsan; the local default stays fast.
+// ---------------------------------------------------------------------------
+
+class WireCodecFuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// decode(encode(m)) == m for every message the generators can produce:
+// all three payload kinds, empty senders, empty KPI vectors, negative
+// ticks (zigzag), full scheduler-policy range.
+TEST_P(WireCodecFuzzSweep, EncodeDecodeIsIdentity) {
+  common::Rng rng(GetParam());
+  const std::size_t iters = testfix::fuzz_iters();
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    const oran::RicMessage message = testfix::random_message(rng);
+    const auto wire = oran::wire::encode_message_frame(message);
+    ASSERT_EQ(oran::wire::decode_message_frame(wire), message);
+    // Re-encoding the decoded message is byte-stable (canonical form).
+    ASSERT_EQ(oran::wire::encode_message_frame(
+                  oran::wire::decode_message_frame(wire)),
+              wire);
+  }
+}
+
+// Every single-byte truncation of a valid frame either throws
+// SerializeError or decodes cleanly — never crashes, never reads out of
+// bounds (the asan/ubsan presets run this exact sweep).
+TEST_P(WireCodecFuzzSweep, EveryTruncationThrowsOrDecodes) {
+  common::Rng rng(GetParam() ^ 0x7e57);
+  const std::size_t iters = testfix::fuzz_iters(8);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    const auto wire =
+        oran::wire::encode_message_frame(testfix::random_message(rng));
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      try {
+        (void)oran::wire::decode_message_frame(
+            std::span<const std::uint8_t>(wire.data(), len));
+      } catch (const common::SerializeError&) {
+        // clean rejection is the expected common case
+      }
+    }
+  }
+}
+
+// Seeded byte corruption (1..8 overwritten bytes per trial) must likewise
+// throw or decode, never crash.
+TEST_P(WireCodecFuzzSweep, SeededCorruptionThrowsOrDecodes) {
+  common::Rng rng(GetParam() ^ 0xc0de);
+  const std::size_t iters = testfix::fuzz_iters();
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    auto wire =
+        oran::wire::encode_message_frame(testfix::random_message(rng));
+    const std::size_t flips = 1 + rng.index(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      wire[rng.index(wire.size())] =
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      (void)oran::wire::decode_message_frame(wire);
+    } catch (const common::SerializeError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireCodecFuzzSweep,
+                         ::testing::Values(11u, 97u, 1009u, 424242u));
 
 }  // namespace
 }  // namespace explora

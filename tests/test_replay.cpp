@@ -1,0 +1,250 @@
+// Tests for record/replay (oran/trace + harness/replay): the `.etrace`
+// grammar round-trips in memory and through files, tampered streams are
+// rejected without crashing, and — the core contract — replaying a
+// recorded run into a fresh EXPLORA xApp reproduces the live attribution
+// stream byte-identically (DESIGN.md §13.4).
+#include "harness/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/training.hpp"
+#include "oran/trace.hpp"
+#include "support/wire_fixtures.hpp"
+
+namespace explora {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Trace container round-trips (no harness involved).
+// ---------------------------------------------------------------------------
+
+/// Builds a recorder pre-loaded with a deterministic mixed-target stream.
+oran::TraceRecorder sample_recorder() {
+  common::Rng rng(7);
+  oran::TraceRecorder recorder("explora_xapp");
+  std::int64_t tick = 0;
+  recorder.set_tick_source([&tick] { return tick; });
+  for (std::uint64_t round = 1; round <= 12; ++round) {
+    tick += static_cast<std::int64_t>(rng.index(30));
+    recorder.on_deliver(testfix::random_message(rng),
+                        round % 3 == 0 ? "drl_xapp" : "explora_xapp", round);
+  }
+  return recorder;
+}
+
+TEST(TraceRoundTrip, SerializeParsePreservesEveryFrame) {
+  const oran::TraceRecorder recorder = sample_recorder();
+  const auto source = oran::TraceReplaySource::parse(recorder.serialize());
+  EXPECT_EQ(source.label(), "explora_xapp");
+  ASSERT_EQ(source.frames(), recorder.frames());
+  // Stored messages decode back to RicMessages (frame bytes are complete
+  // wire frames, version header included).
+  for (const oran::TraceFrame& frame : source.frames()) {
+    EXPECT_NO_THROW((void)frame.decode());
+  }
+}
+
+TEST(TraceRoundTrip, SaveLoadPreservesEveryFrame) {
+  const oran::TraceRecorder recorder = sample_recorder();
+  const auto path = std::filesystem::temp_directory_path() /
+                    "explora_test_trace.etrace";
+  recorder.save(path.string());
+  const auto source = oran::TraceReplaySource::load(path.string());
+  EXPECT_EQ(source.frames(), recorder.frames());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceRoundTrip, SaveIntoMissingDirectoryThrows) {
+  EXPECT_THROW(sample_recorder().save("/nonexistent/dir/trace.etrace"),
+               common::SerializeError);
+  EXPECT_THROW((void)oran::TraceReplaySource::load("/nonexistent/t.etrace"),
+               common::SerializeError);
+}
+
+TEST(TraceRoundTrip, FramesForFiltersByTarget) {
+  const oran::TraceRecorder recorder = sample_recorder();
+  const auto source = oran::TraceReplaySource::parse(recorder.serialize());
+  const auto xapp = source.frames_for("explora_xapp");
+  const auto drl = source.frames_for("drl_xapp");
+  EXPECT_EQ(xapp.size() + drl.size(), source.frames().size());
+  EXPECT_EQ(drl.size(), 4u);  // rounds 3, 6, 9, 12
+  for (const oran::TraceFrame* frame : drl) {
+    EXPECT_EQ(frame->target, "drl_xapp");
+  }
+  EXPECT_TRUE(source.frames_for("nobody").empty());
+}
+
+TEST(TraceRoundTrip, ReplayIntoDeliversRecordedOrderAndTicks) {
+  class Capture final : public oran::RmrEndpoint {
+   public:
+    std::string_view endpoint_name() const noexcept override {
+      return "explora_xapp";
+    }
+    void on_message(const oran::RicMessage& message) override {
+      messages.push_back(message);
+    }
+    std::vector<oran::RicMessage> messages;
+  };
+  const oran::TraceRecorder recorder = sample_recorder();
+  const auto source = oran::TraceReplaySource::parse(recorder.serialize());
+  Capture capture;
+  std::vector<std::int64_t> ticks;
+  const std::size_t delivered = source.replay_into(
+      capture, "explora_xapp",
+      [&ticks](std::int64_t tick) { ticks.push_back(tick); });
+  const auto expected = source.frames_for("explora_xapp");
+  ASSERT_EQ(delivered, expected.size());
+  ASSERT_EQ(capture.messages.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(capture.messages[i], expected[i]->decode());
+    EXPECT_EQ(ticks[i], expected[i]->tick);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tamper rejection: the parser must throw SerializeError on malformed
+// streams, never crash (sanitizer CI legs re-run this sweep).
+// ---------------------------------------------------------------------------
+
+TEST(TraceTamper, RejectsBadMagicAndIncompatibleMajor) {
+  auto bytes = sample_recorder().serialize();
+  {
+    auto bad = bytes;
+    bad[0] ^= 0xFF;
+    EXPECT_THROW((void)oran::TraceReplaySource::parse(bad),
+                 common::SerializeError);
+  }
+  {
+    auto bad = bytes;
+    bad[4] = oran::kTraceMajor + 1;
+    try {
+      (void)oran::TraceReplaySource::parse(bad);
+      FAIL() << "expected SerializeError";
+    } catch (const common::SerializeError& error) {
+      const std::string what = error.what();
+      EXPECT_NE(what.find("major version 2"), std::string::npos) << what;
+      EXPECT_NE(what.find("major version 1"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(TraceTamper, ToleratesFutureMinorVersion) {
+  auto bytes = sample_recorder().serialize();
+  bytes[5] = oran::kTraceMinor + 5;
+  const auto source = oran::TraceReplaySource::parse(bytes);
+  EXPECT_EQ(source.frames().size(), 12u);
+}
+
+TEST(TraceTamper, EveryTruncationEitherParsesOrThrows) {
+  const auto bytes = sample_recorder().serialize();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    try {
+      (void)oran::TraceReplaySource::parse(
+          std::span<const std::uint8_t>(bytes.data(), len));
+      // Truncation at a frame boundary yields a valid shorter trace.
+    } catch (const common::SerializeError&) {
+    }
+  }
+}
+
+TEST(TraceTamper, SeededCorruptionSweepNeverCrashes) {
+  common::Rng rng(99);
+  const auto bytes = sample_recorder().serialize();
+  const std::size_t iters = testfix::fuzz_iters(100);
+  for (std::size_t trial = 0; trial < iters; ++trial) {
+    auto corrupted = bytes;
+    const std::size_t flips = 1 + rng.index(6);
+    for (std::size_t f = 0; f < flips; ++f) {
+      corrupted[rng.index(corrupted.size())] =
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    try {
+      const auto source = oran::TraceReplaySource::parse(corrupted);
+      // The container may still parse with the corruption inside a stored
+      // message blob; decoding the frames must then throw cleanly too.
+      for (const oran::TraceFrame& frame : source.frames()) {
+        (void)frame.decode();
+      }
+    } catch (const common::SerializeError&) {
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record -> replay determinism on a real (small) closed-loop run.
+// ---------------------------------------------------------------------------
+
+harness::TrainingConfig tiny_training() {
+  harness::TrainingConfig training;
+  training.collection_steps = 20;
+  training.autoencoder.epochs = 2;
+  training.ppo_iterations = 1;
+  training.steps_per_iteration = 16;
+  return training;
+}
+
+netsim::ScenarioConfig tiny_scenario() {
+  netsim::ScenarioConfig scenario;
+  scenario.users_per_slice = {1, 1, 1};
+  scenario.seed = 7;
+  return scenario;
+}
+
+// Trained once per process; training runs outside the per-test registries.
+const harness::TrainedSystem& tiny_system() {
+  static const harness::TrainedSystem system = harness::train_system(
+      core::AgentProfile::kHighThroughput, tiny_scenario(), tiny_training());
+  return system;
+}
+
+harness::ExperimentOptions tiny_options() {
+  harness::ExperimentOptions options;
+  options.decisions = 4;
+  options.deploy_explora = true;
+  return options;
+}
+
+TEST(ReplayDeterminism, RecordedRunCarriesTraceAndAttribution) {
+  const harness::RecordedRun run = harness::record_experiment(
+      tiny_system(), tiny_scenario(), tiny_options(), tiny_training());
+  EXPECT_FALSE(run.trace.empty());
+  EXPECT_FALSE(run.attribution.bytes.empty());
+  EXPECT_NE(run.attribution.digest, 0u);
+  const auto source = oran::TraceReplaySource::parse(run.trace);
+  EXPECT_EQ(source.label(), run.xapp_name);
+  EXPECT_FALSE(source.frames_for(run.xapp_name).empty());
+}
+
+TEST(ReplayDeterminism, ReplayReproducesAttributionByteIdentically) {
+  const harness::RoundTripReport report = harness::replay_roundtrip(
+      tiny_system(), tiny_scenario(), tiny_options(), tiny_training());
+  EXPECT_GT(report.replayed.frames_delivered, 0u);
+  EXPECT_EQ(report.live.result.explanations.size(),
+            report.replayed.explanations.size());
+  EXPECT_TRUE(report.bytes_identical);
+  EXPECT_TRUE(report.telemetry_identical);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.live.attribution, report.replayed.attribution);
+}
+
+TEST(ReplayDeterminism, ReplayingTheSameTraceTwiceIsIdentical) {
+  const harness::RecordedRun run = harness::record_experiment(
+      tiny_system(), tiny_scenario(), tiny_options(), tiny_training());
+  const auto source = oran::TraceReplaySource::parse(run.trace);
+  const harness::ReplayOutcome first = harness::replay_trace(
+      source, run.xapp_name, tiny_options(),
+      core::AgentProfile::kHighThroughput, tiny_training());
+  const harness::ReplayOutcome second = harness::replay_trace(
+      source, run.xapp_name, tiny_options(),
+      core::AgentProfile::kHighThroughput, tiny_training());
+  EXPECT_EQ(first.attribution, second.attribution);
+  EXPECT_EQ(first.frames_delivered, second.frames_delivered);
+}
+
+}  // namespace
+}  // namespace explora

@@ -1,4 +1,8 @@
-// Unit tests for the binary serialization layer (common/serialize).
+// Unit tests for the length-prefixed binary serialization layer
+// (common/serialize), which persists ML artifacts (autoencoder/agent
+// checkpoints). RIC messages and traces use the tagged, versioned
+// oran/wire grammar instead — see test_wire.cpp / test_codec.cpp and the
+// shared fixtures in tests/support/wire_fixtures.hpp.
 #include "common/serialize.hpp"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,255 @@
+// replay — record the RIC message fabric to an `.etrace` file and explain
+// it offline (DESIGN.md §13.4).
+//
+//   replay record --out FILE   run a live experiment with a delivery tap
+//                              and persist the tick-stamped stream
+//   replay replay --in FILE    feed a recorded stream into a fresh EXPLORA
+//                              xApp (no simulator) and print what it saw
+//   replay verify              record + replay in memory and fail unless
+//                              the attribution streams are byte-identical
+//   replay serve  --in FILE    serve SHAP explanations over the recorded
+//                              KPM stream through an ExplainService
+//
+// Common options: --profile HT|LL, --traffic TRF1|TRF2, --users N,
+// --decisions N, --seed S. The system is trained (or loaded from the
+// artifact cache) first, exactly like explora_cli.
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/format.hpp"
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "harness/replay.hpp"
+#include "harness/training.hpp"
+#include "oran/trace.hpp"
+
+namespace {
+
+using namespace explora;
+
+struct CliOptions {
+  std::string command;
+  core::AgentProfile profile = core::AgentProfile::kHighThroughput;
+  netsim::TrafficProfile traffic = netsim::TrafficProfile::kTrf1;
+  std::uint32_t users = 6;
+  std::size_t decisions = 24;
+  std::uint64_t seed = 42;
+  std::string in_file;
+  std::string out_file;
+};
+
+void usage() {
+  std::fputs(
+      "usage: replay <record|replay|verify|serve> [options]\n"
+      "  --out FILE            trace file to write (record)\n"
+      "  --in FILE             trace file to read (replay, serve)\n"
+      "  --profile HT|LL       agent profile (default HT)\n"
+      "  --traffic TRF1|TRF2   traffic profile (default TRF1)\n"
+      "  --users N             total users, 1-6 (default 6)\n"
+      "  --decisions N         decision periods to record (default 24)\n"
+      "  --seed S              scenario seed (default 42)\n",
+      stderr);
+}
+
+[[nodiscard]] bool parse(int argc, char** argv, CliOptions& options) {
+  if (argc < 2) return false;
+  options.command = argv[1];
+  for (int i = 2; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    const std::string value = argv[i + 1];
+    if (flag == "--profile") {
+      if (value == "HT") {
+        options.profile = core::AgentProfile::kHighThroughput;
+      } else if (value == "LL") {
+        options.profile = core::AgentProfile::kLowLatency;
+      } else {
+        std::fprintf(stderr, "unknown profile %s\n", value.c_str());
+        return false;
+      }
+    } else if (flag == "--traffic") {
+      if (value == "TRF1") {
+        options.traffic = netsim::TrafficProfile::kTrf1;
+      } else if (value == "TRF2") {
+        options.traffic = netsim::TrafficProfile::kTrf2;
+      } else {
+        std::fprintf(stderr, "unknown traffic profile %s\n", value.c_str());
+        return false;
+      }
+    } else if (flag == "--users") {
+      options.users = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (flag == "--decisions") {
+      options.decisions = std::stoul(value);
+    } else if (flag == "--seed") {
+      options.seed = std::stoull(value);
+    } else if (flag == "--in") {
+      options.in_file = value;
+    } else if (flag == "--out") {
+      options.out_file = value;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] netsim::ScenarioConfig scenario_of(const CliOptions& options) {
+  netsim::ScenarioConfig scenario;
+  scenario.profile = options.traffic;
+  scenario.users_per_slice = netsim::users_for_count(
+      options.users,
+      options.users == 1 ? std::optional(netsim::Slice::kEmbb)
+                         : std::nullopt);
+  scenario.seed = options.seed;
+  return scenario;
+}
+
+[[nodiscard]] harness::ExperimentOptions experiment_of(
+    const CliOptions& options) {
+  harness::ExperimentOptions experiment;
+  experiment.decisions = options.decisions;
+  experiment.deploy_explora = true;
+  return experiment;
+}
+
+int cmd_record(const CliOptions& options) {
+  if (options.out_file.empty()) {
+    std::fputs("record requires --out FILE\n", stderr);
+    return 2;
+  }
+  const auto system = harness::load_or_train(
+      options.profile, scenario_of(options), harness::TrainingConfig{});
+  const harness::RecordedRun run = harness::record_experiment(
+      system, scenario_of(options), experiment_of(options));
+  const oran::TraceReplaySource source =
+      oran::TraceReplaySource::parse(run.trace);
+  std::FILE* file = std::fopen(options.out_file.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", options.out_file.c_str());
+    return 1;
+  }
+  const std::size_t written =
+      std::fwrite(run.trace.data(), 1, run.trace.size(), file);
+  std::fclose(file);
+  if (written != run.trace.size()) {
+    std::fprintf(stderr, "short write to %s\n", options.out_file.c_str());
+    return 1;
+  }
+  common::TextTable table({"metric", "value"});
+  table.add_row({"trace file", options.out_file});
+  table.add_row({"trace bytes", std::to_string(run.trace.size())});
+  table.add_row({"frames", std::to_string(source.frames().size())});
+  table.add_row({"xapp frames",
+                 std::to_string(source.frames_for(run.xapp_name).size())});
+  table.add_row({"explanations",
+                 std::to_string(run.result.explanations.size())});
+  table.add_row({"attribution digest",
+                 common::format("{}", run.attribution.digest)});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_replay(const CliOptions& options) {
+  if (options.in_file.empty()) {
+    std::fputs("replay requires --in FILE\n", stderr);
+    return 2;
+  }
+  const oran::TraceReplaySource source =
+      oran::TraceReplaySource::load(options.in_file);
+  const std::string xapp_name =
+      source.label().empty() ? "explora_xapp" : source.label();
+  const harness::ReplayOutcome outcome = harness::replay_trace(
+      source, xapp_name, experiment_of(options), options.profile);
+  common::TextTable table({"metric", "value"});
+  table.add_row({"trace label", source.label()});
+  table.add_row({"frames total", std::to_string(source.frames().size())});
+  table.add_row({"frames replayed",
+                 std::to_string(outcome.frames_delivered)});
+  table.add_row({"explanations",
+                 std::to_string(outcome.explanations.size())});
+  table.add_row({"degradations",
+                 std::to_string(outcome.degradations.size())});
+  table.add_row({"attribution bytes",
+                 std::to_string(outcome.attribution.bytes.size())});
+  table.add_row({"attribution digest",
+                 common::format("{}", outcome.attribution.digest)});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_verify(const CliOptions& options) {
+  const auto system = harness::load_or_train(
+      options.profile, scenario_of(options), harness::TrainingConfig{});
+  const harness::RoundTripReport report = harness::replay_roundtrip(
+      system, scenario_of(options), experiment_of(options));
+  std::printf("live attribution:   %zu bytes, digest %llu\n",
+              report.live.attribution.bytes.size(),
+              static_cast<unsigned long long>(report.live.attribution.digest));
+  std::printf("replay attribution: %zu bytes, digest %llu\n",
+              report.replayed.attribution.bytes.size(),
+              static_cast<unsigned long long>(
+                  report.replayed.attribution.digest));
+  std::printf("bytes identical:     %s\n",
+              report.bytes_identical ? "yes" : "NO");
+  std::printf("telemetry identical: %s\n",
+              report.telemetry_identical ? "yes" : "NO");
+  if (!report.ok()) {
+    std::fputs("replay determinism verification FAILED\n", stderr);
+    return 1;
+  }
+  std::puts("replay determinism verified");
+  return 0;
+}
+
+int cmd_serve(const CliOptions& options) {
+  if (options.in_file.empty()) {
+    std::fputs("serve requires --in FILE\n", stderr);
+    return 2;
+  }
+  const auto system = harness::load_or_train(
+      options.profile, scenario_of(options), harness::TrainingConfig{});
+  const oran::TraceReplaySource source =
+      oran::TraceReplaySource::load(options.in_file);
+  harness::ServingOptions serving;
+  const harness::ServeStats stats = harness::serve_trace(
+      source, "drl_xapp", system, serving,
+      harness::TrainingConfig{}.reports_per_decision);
+  common::TextTable table({"metric", "value"});
+  table.add_row({"indications", std::to_string(stats.indications)});
+  table.add_row({"decisions", std::to_string(stats.decisions)});
+  table.add_row({"queries submitted", std::to_string(stats.submitted)});
+  table.add_row({"explanations delivered", std::to_string(stats.delivered)});
+  table.add_row({"queries shed", std::to_string(stats.shed)});
+  table.add_row({"stream digest",
+                 common::format("{}", stats.stream_digest)});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::set_log_level(common::LogLevel::kWarn);
+  CliOptions options;
+  if (!parse(argc, argv, options)) {
+    usage();
+    return 2;
+  }
+  try {
+    if (options.command == "record") return cmd_record(options);
+    if (options.command == "replay") return cmd_replay(options);
+    if (options.command == "verify") return cmd_verify(options);
+    if (options.command == "serve") return cmd_serve(options);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", options.command.c_str());
+  usage();
+  return 2;
+}
