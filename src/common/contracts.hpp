@@ -44,6 +44,7 @@
 #include <utility>
 
 #include "common/format.hpp"
+#include "common/interleave.hpp"
 
 #ifndef EXPLORA_CHECK_LEVEL
 #define EXPLORA_CHECK_LEVEL 2
@@ -71,6 +72,7 @@ using ContractHandler = void (*)(const ContractViolation&);
 
 namespace detail {
 
+// atomics-ok: gate-flag (runtime level toggle; no data is published through it)
 inline std::atomic<int> g_check_level{static_cast<int>(CheckLevel::kFast)};
 inline std::atomic<ContractHandler> g_handler{nullptr};
 
@@ -144,9 +146,15 @@ class SingleThreadScope {
   }
   void exit() noexcept { active_.fetch_sub(1, std::memory_order_acq_rel); }
 
+  /// Open-scope count (approximate under concurrency; exact once all
+  /// scopes have exited). Exposed for the interleaving model checker.
+  [[nodiscard]] int active() const noexcept {
+    return active_.load(std::memory_order_acquire);
+  }
+
  private:
-  std::atomic<int> active_{0};
-  std::atomic<std::thread::id> owner_{};
+  common::interleave::Atomic<int> active_{0};
+  common::interleave::Atomic<std::thread::id> owner_{};
 };
 
 namespace detail {

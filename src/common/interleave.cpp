@@ -1,0 +1,328 @@
+#include "common/interleave.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <semaphore>
+#include <thread>
+
+namespace explora::common::interleave {
+namespace {
+
+// splitmix64 finalizer: deterministic choice-order rotation keyed on
+// (seed, decision depth). Pure arithmetic — no std::random_device, no
+// clocks — so the explored schedule set is a function of Options alone.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct Decision {
+  std::uint32_t choice = 0;  // index into the rotated runnable set
+  std::uint32_t arity = 0;   // |runnable| at this point (replay sanity)
+};
+
+struct Session;
+
+// Which virtual thread (if any) the calling OS thread embodies. The
+// shim's yield_point() is a no-op whenever t_session is null — i.e. on
+// every thread of the regular test suite and on the coordinator.
+thread_local Session* t_session = nullptr;
+thread_local int t_thread_index = -1;
+
+struct Worker {
+  enum class State { kRunnable, kRunning, kDone };
+
+  explicit Worker() = default;
+
+  std::binary_semaphore go{0};
+  State state = State::kDone;
+  std::thread os_thread;
+};
+
+// All cross-thread fields below are plain (non-atomic) on purpose: the
+// coordinator and the single active worker alternate via binary
+// semaphores, and semaphore release/acquire pairs give the necessary
+// happens-before edges — tsan-clean token passing, exactly one runner
+// at any instant.
+struct Session {
+  std::vector<ThreadFn>* bodies = nullptr;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::binary_semaphore to_coordinator{0};
+  bool shutdown = false;
+
+  // Per-schedule violation slot (first violation wins).
+  bool violated = false;
+  std::string violation;
+
+  void note_violation(std::string message) {
+    if (!violated) {
+      violated = true;
+      violation = std::move(message);
+    }
+  }
+};
+
+// A wedged exploration (a body blocked on a real lock, or a worker that
+// died) cannot be unwound safely — the cooperative invariant is broken —
+// so fail loudly instead of hanging ctest.
+[[noreturn]] void fatal(const char* what) {
+  std::fprintf(stderr, "interleave::explore fatal: %s\n", what);
+  std::abort();
+}
+
+void worker_main(Session* session, int index) {
+  t_session = session;
+  t_thread_index = index;
+  Worker& self = *session->workers[static_cast<std::size_t>(index)];
+  for (;;) {
+    self.go.acquire();
+    if (session->shutdown) {
+      break;
+    }
+    self.state = Worker::State::kRunning;
+    try {
+      (*session->bodies)[static_cast<std::size_t>(index)]();
+    } catch (const ScheduleViolation& violation) {
+      session->note_violation(violation.message);
+    } catch (const std::exception& error) {
+      session->note_violation(std::string("unexpected exception in body: ") +
+                              error.what());
+    } catch (...) {
+      session->note_violation("unexpected non-std exception in body");
+    }
+    self.state = Worker::State::kDone;
+    session->to_coordinator.release();
+  }
+}
+
+// Hands the token to `worker` and waits for it to come back (next yield
+// point or body completion). The timeout only trips when a body blocks
+// outside the cooperative protocol.
+void step_worker(Session& session, Worker& worker) {
+  worker.go.release();
+  if (!session.to_coordinator.try_acquire_for(std::chrono::seconds(120))) {
+    fatal("virtual thread did not reach a yield point within 120s "
+          "(body blocked on a real lock, or livelocked outside "
+          "instrumented atomics?)");
+  }
+}
+
+std::string format_trace(const std::vector<int>& trace) {
+  std::string out = "schedule:";
+  const std::size_t shown = trace.size() < 192 ? trace.size() : 192;
+  for (std::size_t i = 0; i < shown; ++i) {
+    out += ' ';
+    out += std::to_string(trace[i]);
+  }
+  if (shown < trace.size()) {
+    out += " ... (";
+    out += std::to_string(trace.size());
+    out += " steps)";
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+void yield_point() noexcept {
+  Session* session = t_session;
+  if (session == nullptr || t_thread_index < 0) {
+    return;
+  }
+  Worker& self = *session->workers[static_cast<std::size_t>(t_thread_index)];
+  self.state = Worker::State::kRunnable;
+  session->to_coordinator.release();
+  self.go.acquire();
+  self.state = Worker::State::kRunning;
+}
+
+}  // namespace detail
+
+bool in_exploration() noexcept {
+  return t_session != nullptr && t_thread_index >= 0;
+}
+
+void fail(std::string message) { throw ScheduleViolation{std::move(message)}; }
+
+Result explore(std::vector<ThreadFn> bodies, const Options& options,
+               const HookFn& setup, const HookFn& check) {
+  Result result;
+  if (bodies.empty()) {
+    result.exhausted = true;
+    return result;
+  }
+  if (in_exploration()) {
+    fatal("nested explore() inside a virtual thread is not supported");
+  }
+
+  const int n = static_cast<int>(bodies.size());
+  Session session;
+  session.bodies = &bodies;
+  session.workers.reserve(bodies.size());
+  for (int i = 0; i < n; ++i) {
+    session.workers.push_back(std::make_unique<Worker>());
+  }
+  // Persistent workers: thread creation happens once, not once per
+  // schedule — a schedule costs only semaphore handoffs.
+  for (int i = 0; i < n; ++i) {
+    session.workers[static_cast<std::size_t>(i)]->os_thread =
+        std::thread(worker_main, &session, i);
+  }
+
+  // DFS over scheduling decisions. `stack` is the decision prefix being
+  // replayed; decisions past the stack are taken as choice 0 and
+  // appended, so after a schedule the stack holds its full decision
+  // vector and advancing is the classic mixed-radix odometer step.
+  std::vector<Decision> stack;
+  std::vector<int> trace;
+  std::vector<int> runnable;
+
+  for (;;) {
+    session.violated = false;
+    session.violation.clear();
+    if (setup) {
+      try {
+        setup();
+      } catch (const ScheduleViolation& violation) {
+        session.note_violation(violation.message);
+      }
+    }
+
+    std::size_t decision_index = 0;
+    std::uint64_t steps = 0;
+    int preemptions = 0;
+    int last = -1;
+    trace.clear();
+    for (auto& worker : session.workers) {
+      worker->state = Worker::State::kRunnable;
+    }
+
+    while (!session.violated) {
+      runnable.clear();
+      for (int i = 0; i < n; ++i) {
+        if (session.workers[static_cast<std::size_t>(i)]->state !=
+            Worker::State::kDone) {
+          runnable.push_back(i);
+        }
+      }
+      if (runnable.empty()) {
+        break;
+      }
+      int chosen;
+      const bool last_runnable =
+          last >= 0 && session.workers[static_cast<std::size_t>(last)]->state !=
+                           Worker::State::kDone;
+      if (runnable.size() == 1) {
+        chosen = runnable.front();
+      } else if (options.preemption_bound >= 0 && last_runnable &&
+                 preemptions >= options.preemption_bound) {
+        // Preemption budget spent: forced continuation, no decision
+        // recorded (this branch is a pure function of the prefix, so
+        // replay determinism holds).
+        chosen = last;
+      } else {
+        std::uint32_t choice;
+        if (decision_index < stack.size()) {
+          if (stack[decision_index].arity !=
+              static_cast<std::uint32_t>(runnable.size())) {
+            fatal("non-deterministic body: runnable-set arity changed "
+                  "between replays of the same prefix");
+          }
+          choice = stack[decision_index].choice;
+        } else {
+          stack.push_back(
+              {0, static_cast<std::uint32_t>(runnable.size())});
+          choice = 0;
+        }
+        const std::uint64_t rot =
+            mix(options.seed ^ (0x51edULL * (decision_index + 1)));
+        chosen = runnable[static_cast<std::size_t>(
+            (choice + rot) % runnable.size())];
+        ++decision_index;
+      }
+      if (last_runnable && chosen != last) {
+        ++preemptions;
+      }
+      trace.push_back(chosen);
+      if (++steps > options.max_steps) {
+        session.note_violation(
+            "schedule exceeded max_steps (livelocked retry loop?)");
+        break;
+      }
+      last = chosen;
+      step_worker(session,
+                  *session.workers[static_cast<std::size_t>(chosen)]);
+    }
+
+    // A violation can leave other bodies parked mid-schedule; run them
+    // to completion so the workers return to their top-of-loop park and
+    // stay reusable. Invariant failures they hit are already moot.
+    std::uint64_t drain_steps = 0;
+    for (;;) {
+      Worker* pending = nullptr;
+      for (auto& worker : session.workers) {
+        if (worker->state != Worker::State::kDone) {
+          pending = worker.get();
+          break;
+        }
+      }
+      if (pending == nullptr) {
+        break;
+      }
+      if (++drain_steps > options.max_steps * 64 + 1024) {
+        fatal("could not drain virtual threads after a violation "
+              "(unbounded body?)");
+      }
+      step_worker(session, *pending);
+    }
+
+    if (!session.violated && check) {
+      try {
+        check();
+      } catch (const ScheduleViolation& violation) {
+        session.note_violation(violation.message);
+      }
+    }
+
+    ++result.schedules;
+    if (stack.size() > result.max_decision_depth) {
+      result.max_decision_depth = stack.size();
+    }
+    if (session.violated) {
+      result.failed = true;
+      result.failure = session.violation + "\n  " + format_trace(trace);
+      break;
+    }
+    if (result.schedules >= options.max_schedules) {
+      break;
+    }
+    // Odometer advance: drop exhausted trailing decisions, bump the
+    // deepest live one. Empty stack => every schedule has been run.
+    while (!stack.empty() && stack.back().choice + 1 >= stack.back().arity) {
+      stack.pop_back();
+    }
+    if (stack.empty()) {
+      result.exhausted = true;
+      break;
+    }
+    ++stack.back().choice;
+  }
+
+  session.shutdown = true;
+  for (auto& worker : session.workers) {
+    worker->go.release();
+  }
+  for (auto& worker : session.workers) {
+    worker->os_thread.join();
+  }
+  return result;
+}
+
+}  // namespace explora::common::interleave

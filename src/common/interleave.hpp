@@ -1,0 +1,196 @@
+// Deterministic interleaving model checker for the lock-free core
+// (DESIGN.md §14): a cooperative virtual-thread scheduler that runs N
+// thread bodies with exactly ONE thread active at a time and explores
+// every scheduling decision by depth-first search, so small concurrent
+// tests (the Vyukov serving ring, the contracts SingleThreadScope, the
+// telemetry relaxed folds) are checked over EVERY interleaving up to a
+// bounded schedule depth instead of the handful a tsan stress run
+// happens to sample — in the spirit of CHESS / Relacy / CDSChecker
+// stateless model checking.
+//
+// Two granularities, one test source:
+//
+//   default build        Atomic<T> is a plain std::atomic<T> alias; the
+//                        explorer interleaves only at explicit
+//                        checkpoint() calls, so whole operations (one
+//                        try_push, one enter) are atomic steps.
+//   EXPLORA_MODEL_CHECK  Atomic<T> is a shim that announces a scheduling
+//                        point before every load/store/RMW, so the
+//                        explorer can preempt *between* the individual
+//                        atomic accesses inside an operation — the
+//                        granularity at which publish/consume bugs live.
+//
+// The exploration is sequentially consistent (one runner at a time with
+// semaphore handoff means every access is globally ordered), which is a
+// sound over-approximation for bug *detection* at this granularity and
+// exact for the SC outcomes; the weak-memory (relaxed/acquire/release)
+// discipline itself is audited statically by tools/lint_atomics.py —
+// the two halves of the memory-model layer deliberately split the work.
+//
+// Determinism contract: schedule choice order is a pure function of
+// (seed, decision depth) via a splitmix64 mix — no wall clock, no
+// std::random_device (tools/lint_determinism.py enforces this) — so a
+// failing schedule replays exactly from its recorded choice trace.
+//
+// Virtual-thread bodies must be lock-free and bounded: only instrumented
+// atomics, checkpoint() calls and plain computation. A body that blocks
+// on a real mutex/condvar deadlocks the cooperative scheduler (the
+// watchdog aborts with a diagnostic rather than hanging ctest), and an
+// unbounded retry loop trips the per-schedule step bound.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace explora::common::interleave {
+
+namespace detail {
+
+/// Scheduling point: hands control back to the explorer when the calling
+/// thread is a virtual thread of an active exploration, else a no-op
+/// (one thread_local read). The instrumented Atomic shim calls this
+/// before every access.
+void yield_point() noexcept;
+
+}  // namespace detail
+
+/// Explicit scheduling point for code whose shared accesses are not
+/// instrumented (coarse-granularity exploration in default builds, and
+/// method-level interleaving of externally-synchronized state machines
+/// like CircuitBreaker).
+inline void checkpoint() noexcept { detail::yield_point(); }
+
+/// True while the calling thread is a virtual thread inside explore().
+[[nodiscard]] bool in_exploration() noexcept;
+
+#if defined(EXPLORA_MODEL_CHECK)
+
+inline constexpr bool kInstrumentedAtomics = true;
+
+/// Drop-in std::atomic shim: every access announces a scheduling point
+/// first, then forwards to the wrapped atomic with the caller's explicit
+/// memory_order. Outside an exploration the announcement is one
+/// thread_local read, so the full regular test suite still runs (and
+/// passes) in this build flavor.
+template <class T>
+class Atomic {
+ public:
+  constexpr Atomic() noexcept = default;
+  constexpr Atomic(T desired) noexcept : cell_(desired) {}  // NOLINT(google-explicit-constructor)
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order order) const noexcept {
+    detail::yield_point();
+    return cell_.load(order);
+  }
+  void store(T desired, std::memory_order order) noexcept {
+    detail::yield_point();
+    cell_.store(desired, order);
+  }
+  T exchange(T desired, std::memory_order order) noexcept {
+    detail::yield_point();
+    return cell_.exchange(desired, order);
+  }
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order order) noexcept {
+    detail::yield_point();
+    return cell_.compare_exchange_weak(expected, desired, order);
+  }
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order order) noexcept {
+    detail::yield_point();
+    return cell_.compare_exchange_strong(expected, desired, order);
+  }
+  T fetch_add(T arg, std::memory_order order) noexcept {
+    detail::yield_point();
+    return cell_.fetch_add(arg, order);
+  }
+  T fetch_sub(T arg, std::memory_order order) noexcept {
+    detail::yield_point();
+    return cell_.fetch_sub(arg, order);
+  }
+
+ private:
+  std::atomic<T> cell_{};
+};
+
+#else  // !EXPLORA_MODEL_CHECK
+
+inline constexpr bool kInstrumentedAtomics = false;
+
+/// Zero-cost in the default build: the wrapped subsystems (serving ring,
+/// SingleThreadScope, telemetry folds) compile to exactly the
+/// std::atomic code they used before the model-check layer existed.
+template <class T>
+using Atomic = std::atomic<T>;
+
+#endif  // EXPLORA_MODEL_CHECK
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+struct Options {
+  /// Hard cap on schedules run; exploration stops un-exhausted at it.
+  std::uint64_t max_schedules = 1u << 20;
+  /// Per-schedule step bound: a schedule exceeding it (a livelocked spin)
+  /// is a failure, not a hang.
+  std::uint64_t max_steps = 1u << 20;
+  /// CHESS-style preemption bound: at most this many switches away from a
+  /// still-runnable thread per schedule (-1 = unbounded). Bounding keeps
+  /// exhaustive enumeration tractable; most concurrency bugs need <= 2
+  /// preemptions to manifest (see DESIGN.md §14 for the rationale).
+  int preemption_bound = -1;
+  /// Rotates the per-depth choice order deterministically, so independent
+  /// seeds walk the same space in different orders (first-failure traces
+  /// differ, the explored set does not).
+  std::uint64_t seed = 0;
+};
+
+struct Result {
+  std::uint64_t schedules = 0;  ///< distinct schedules executed
+  bool exhausted = false;       ///< DFS frontier emptied: full enumeration
+  bool failed = false;          ///< some schedule violated a check
+  std::string failure;          ///< first violation + its choice trace
+  std::uint64_t max_decision_depth = 0;  ///< deepest decision stack seen
+};
+
+/// Violation signal for bodies and hooks: EXPLORA_INTERLEAVE_CHECK throws
+/// it; explore() catches it into Result::failure together with the
+/// schedule trace that produced it.
+struct ScheduleViolation {
+  std::string message;
+};
+
+/// Throws ScheduleViolation{message}: fails the current schedule.
+[[noreturn]] void fail(std::string message);
+
+using ThreadFn = std::function<void()>;
+using HookFn = std::function<void()>;
+
+/// Runs `bodies` as cooperative virtual threads under every schedule the
+/// DFS reaches within `options`' bounds. Per schedule: `setup` runs on
+/// the calling thread (reset shared state), then the bodies execute to
+/// completion under the chosen interleaving, then `check` runs on the
+/// calling thread (assert invariants via EXPLORA_INTERLEAVE_CHECK /
+/// fail()). Worker threads are created once and reused across schedules.
+/// Either hook may be nullptr.
+[[nodiscard]] Result explore(std::vector<ThreadFn> bodies,
+                             const Options& options,
+                             const HookFn& setup = nullptr,
+                             const HookFn& check = nullptr);
+
+}  // namespace explora::common::interleave
+
+/// Invariant assertion usable inside virtual-thread bodies and hooks.
+#define EXPLORA_INTERLEAVE_CHECK(cond, msg)                  \
+  do {                                                       \
+    if (!static_cast<bool>(cond)) {                          \
+      ::explora::common::interleave::fail((msg));            \
+    }                                                        \
+  } while (false)

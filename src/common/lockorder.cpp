@@ -20,8 +20,11 @@ struct MutexInfo {
 
   const std::string name;
   const int rank;
+  // atomics-ok: commutative-counter (order-free add fold)
   std::atomic<std::uint64_t> acquisitions{0};
+  // atomics-ok: commutative-counter (order-free add fold)
   std::atomic<std::uint64_t> contended{0};
+  // atomics-ok: commutative-counter (order-free add fold)
   std::atomic<std::uint64_t> wait_rounds{0};
 };
 

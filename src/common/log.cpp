@@ -10,6 +10,7 @@ namespace explora::common {
 
 namespace {
 
+// atomics-ok: gate-flag (severity threshold toggle; publishes no data)
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 /// Serializes sink writes so lines emitted by concurrent pool workers

@@ -37,6 +37,7 @@ struct ThreadPool::Job {
   std::size_t num_chunks = 0;
   std::size_t end = 0;
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  // atomics-ok: claim-ticket (chunk claim; results land in disjoint slots)
   std::atomic<std::size_t> next{0};
   Mutex mutex{"pool.job", lockrank::kPoolJob};
   CondVar done_cv;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/analysis_annotations.hpp"
+#include "common/interleave.hpp"
 #include "common/thread_annotations.hpp"
 
 #ifndef EXPLORA_TELEMETRY_LEVEL
@@ -56,20 +57,27 @@ inline constexpr bool kCompiledIn = EXPLORA_TELEMETRY_LEVEL >= 1;
 
 namespace detail {
 
+// atomics-ok: gate-flag (recording on/off toggle; publishes no data)
 inline std::atomic<bool> g_enabled{true};
 
-inline void update_min(std::atomic<std::int64_t>& target,
+// atomics-ok: monotone-cas (commutative min fold; readers tolerate staleness)
+inline void update_min(common::interleave::Atomic<std::int64_t>& target,
                        std::int64_t value) noexcept {
   std::int64_t current = target.load(std::memory_order_relaxed);
+  // hotpath-ok: bounded monotone CAS - every retry means another thread
+  // already tightened the bound, so iterations <= concurrent recorders
   while (value < current &&
          !target.compare_exchange_weak(current, value,
                                        std::memory_order_relaxed)) {
   }
 }
 
-inline void update_max(std::atomic<std::int64_t>& target,
+// atomics-ok: monotone-cas (commutative max fold; readers tolerate staleness)
+inline void update_max(common::interleave::Atomic<std::int64_t>& target,
                        std::int64_t value) noexcept {
   std::int64_t current = target.load(std::memory_order_relaxed);
+  // hotpath-ok: bounded monotone CAS - every retry means another thread
+  // already tightened the bound, so iterations <= concurrent recorders
   while (value > current &&
          !target.compare_exchange_weak(current, value,
                                        std::memory_order_relaxed)) {
@@ -125,7 +133,8 @@ class Counter {
   }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  // atomics-ok: commutative-counter (order-free add fold)
+  common::interleave::Atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written level (queue depths, in-flight counts). Merge rule: the
@@ -153,7 +162,8 @@ class Gauge {
   }
 
  private:
-  std::atomic<std::int64_t> value_{0};
+  // atomics-ok: approx-snapshot (last-write level; no data published through it)
+  common::interleave::Atomic<std::int64_t> value_{0};
 };
 
 /// Fixed-bucket histogram over integer values. Bucket i counts values
@@ -210,11 +220,16 @@ class Histogram {
   [[nodiscard]] std::size_t bucket_index(std::int64_t value) const noexcept;
 
   std::vector<std::int64_t> bounds_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::int64_t> sum_{0};
-  std::atomic<std::int64_t> min_;
-  std::atomic<std::int64_t> max_;
+  // atomics-ok: commutative-counter (order-free add folds)
+  std::unique_ptr<common::interleave::Atomic<std::uint64_t>[]> buckets_;
+  // atomics-ok: commutative-counter (order-free add fold)
+  common::interleave::Atomic<std::uint64_t> count_{0};
+  // atomics-ok: commutative-counter (order-free add fold)
+  common::interleave::Atomic<std::int64_t> sum_{0};
+  // atomics-ok: monotone-cas (min fold via detail::update_min)
+  common::interleave::Atomic<std::int64_t> min_;
+  // atomics-ok: monotone-cas (max fold via detail::update_max)
+  common::interleave::Atomic<std::int64_t> max_;
 };
 
 /// Single-thread batching front end for a shared Histogram: observe() is
@@ -227,7 +242,8 @@ class LocalHistogram {
   LocalHistogram() = default;
   explicit LocalHistogram(Histogram* target)
       : target_(target),
-        buckets_(target != nullptr ? target->bounds().size() + 1 : 0, 0) {}
+        window_buckets_(target != nullptr ? target->bounds().size() + 1 : 0,
+                        0) {}
 
   EXPLORA_REALTIME void observe(std::int64_t value) noexcept {
 #if EXPLORA_TELEMETRY_LEVEL >= 1
@@ -235,11 +251,11 @@ class LocalHistogram {
     const auto& bounds = target_->bounds();
     std::size_t bucket = 0;
     while (bucket < bounds.size() && value > bounds[bucket]) ++bucket;
-    ++buckets_[bucket];
-    ++count_;
-    sum_ += value;
-    if (value < min_) min_ = value;
-    if (value > max_) max_ = value;
+    ++window_buckets_[bucket];
+    ++window_count_;
+    window_sum_ += value;
+    if (value < window_min_) window_min_ = value;
+    if (value > window_max_) window_max_ = value;
 #else
     (void)value;
 #endif
@@ -247,25 +263,31 @@ class LocalHistogram {
 
   EXPLORA_REALTIME void flush() noexcept {
 #if EXPLORA_TELEMETRY_LEVEL >= 1
-    if (count_ == 0) return;
-    target_->observe_batch(buckets_, count_, sum_, min_, max_);
-    for (auto& bucket : buckets_) bucket = 0;
-    count_ = 0;
-    sum_ = 0;
-    min_ = std::numeric_limits<std::int64_t>::max();
-    max_ = std::numeric_limits<std::int64_t>::min();
+    if (window_count_ == 0) return;
+    target_->observe_batch(window_buckets_, window_count_, window_sum_,
+                           window_min_, window_max_);
+    for (auto& bucket : window_buckets_) bucket = 0;
+    window_count_ = 0;
+    window_sum_ = 0;
+    window_min_ = std::numeric_limits<std::int64_t>::max();
+    window_max_ = std::numeric_limits<std::int64_t>::min();
 #endif
   }
 
-  [[nodiscard]] std::uint64_t pending() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t pending() const noexcept {
+    return window_count_;
+  }
 
  private:
+  // The window_* members are this thread's plain (non-atomic) batch; the
+  // distinct names keep them out of the atomics lint's cross-TU variable
+  // table, which pairs atomic accesses by member name.
   Histogram* target_ = nullptr;
-  std::vector<std::uint64_t> buckets_;
-  std::uint64_t count_ = 0;
-  std::int64_t sum_ = 0;
-  std::int64_t min_ = std::numeric_limits<std::int64_t>::max();
-  std::int64_t max_ = std::numeric_limits<std::int64_t>::min();
+  std::vector<std::uint64_t> window_buckets_;
+  std::uint64_t window_count_ = 0;
+  std::int64_t window_sum_ = 0;
+  std::int64_t window_min_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t window_max_ = std::numeric_limits<std::int64_t>::min();
 };
 
 /// Aggregated integer-duration statistic (simulation ticks, dispatch
@@ -295,11 +317,17 @@ class SpanStat {
   [[nodiscard]] std::int64_t max() const noexcept;
 
  private:
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::int64_t> total_{0};
+  // atomics-ok: commutative-counter (order-free add fold)
+  common::interleave::Atomic<std::uint64_t> count_{0};
+  // atomics-ok: commutative-counter (order-free add fold)
+  common::interleave::Atomic<std::int64_t> total_{0};
   // Sentinels so the first record() always wins both CAS races.
-  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
-  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+  // atomics-ok: monotone-cas (min fold via detail::update_min)
+  common::interleave::Atomic<std::int64_t> min_{
+      std::numeric_limits<std::int64_t>::max()};
+  // atomics-ok: monotone-cas (max fold via detail::update_max)
+  common::interleave::Atomic<std::int64_t> max_{
+      std::numeric_limits<std::int64_t>::min()};
 };
 
 /// One metric frozen at snapshot time. Plain data, so snapshots can be
@@ -389,6 +417,7 @@ class Registry {
                                      common::lockrank::kTelemetryRegistry};
   std::map<std::string, std::unique_ptr<Entry>, std::less<>> metrics_
       EXPLORA_GUARDED_BY(mutex_);
+  // atomics-ok: approx-snapshot (tick clock; single writer, racy readers ok)
   std::atomic<std::int64_t> now_{0};
 };
 

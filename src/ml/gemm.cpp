@@ -161,6 +161,7 @@ namespace {
 }
 
 [[nodiscard]] std::atomic<Backend>& backend_slot() noexcept {
+  // atomics-ok: dispatch-slot (any racing reader gets a valid backend)
   static std::atomic<Backend> slot{detect_backend()};
   return slot;
 }

@@ -82,6 +82,7 @@ BoundedRequestQueue::BoundedRequestQueue(std::size_t capacity,
       feature_dim_(feature_dim),
       slots_(std::make_unique<Slot[]>(capacity_)) {
   for (std::size_t i = 0; i < capacity_; ++i) {
+    // atomics-ok: pre-publication-init (no reader can exist before the ctor returns)
     slots_[i].sequence.store(i, std::memory_order_relaxed);
     slots_[i].request.x.resize(feature_dim_);
   }
@@ -129,6 +130,8 @@ bool BoundedRequestQueue::try_push(std::uint64_t id,
   // deterministic driver, a snapshot under concurrent stress.
   const std::size_t d = depth();
   std::size_t hw = high_water_.load(std::memory_order_relaxed);
+  // hotpath-ok: bounded monotone CAS - every retry means another pusher
+  // already raised the watermark past us, so iterations <= concurrent pushers
   while (d > hw && !high_water_.compare_exchange_weak(
                        hw, d, std::memory_order_relaxed)) {
   }
@@ -170,6 +173,8 @@ void BoundedRequestQueue::push_blocking(
     std::uint64_t id, std::uint32_t output_index,
     std::span<const std::uint32_t> context, Tick submitted, Tick deadline,
     std::span<const double> x) noexcept {
+  // hotpath-ok: stress-driver-only unbounded spin, never on a serving path -
+  // annotated callers are flagged at the call site (block-queue-blocking)
   while (!try_push(id, output_index, context, submitted, deadline, x)) {
     std::this_thread::yield();
   }

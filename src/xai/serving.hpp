@@ -38,6 +38,7 @@
 
 #include "common/analysis_annotations.hpp"
 #include "common/contracts.hpp"
+#include "common/interleave.hpp"
 
 namespace explora::xai::serving {
 
@@ -98,9 +99,15 @@ struct Request {
 /// uncontended case and never allocate, lock or block — the admission
 /// path of the serving layer is built on exactly these two calls.
 ///
-/// depth()/high_water() are exact under single-threaded use and a
-/// best-effort snapshot under concurrency (they only feed telemetry and
-/// the load ladder, which the deterministic driver runs single-threaded).
+/// depth()/high_water() are *approximate snapshots*: each reads the two
+/// positions with independent relaxed loads, so under concurrent pushes
+/// and pops the pair may come from different instants and the raw
+/// difference can momentarily under- or overflow the true occupancy.
+/// Both are therefore clamped into [0, capacity] — a caller can never
+/// observe an impossible depth — but within that range the value is
+/// best-effort, not linearizable. They are exact under single-threaded
+/// use (the deterministic driver, which is what feeds telemetry and the
+/// load ladder).
 class BoundedRequestQueue {
  public:
   /// @param capacity requested depth bound (rounded up to a power of two).
@@ -135,19 +142,25 @@ class BoundedRequestQueue {
   [[nodiscard]] std::size_t feature_dim() const noexcept {
     return feature_dim_;
   }
+  /// Approximate occupancy snapshot, clamped into [0, capacity] (see the
+  /// class comment: the two relaxed loads are not taken atomically, so a
+  /// pop landing between them could otherwise underflow head - tail into
+  /// a huge bogus value).
   [[nodiscard]] std::size_t depth() const noexcept {
     const std::size_t head = enqueue_pos_.load(std::memory_order_relaxed);
     const std::size_t tail = dequeue_pos_.load(std::memory_order_relaxed);
-    return head >= tail ? head - tail : 0;
+    const std::size_t raw = head >= tail ? head - tail : 0;
+    return raw < capacity_ ? raw : capacity_;
   }
-  /// Deepest depth() ever observed right after a successful push.
+  /// Deepest depth() ever observed right after a successful push
+  /// (approximate under concurrency, same caveat as depth()).
   [[nodiscard]] std::size_t high_water() const noexcept {
     return high_water_.load(std::memory_order_relaxed);
   }
 
  private:
   struct Slot {
-    std::atomic<std::size_t> sequence{0};
+    common::interleave::Atomic<std::size_t> sequence{0};
     Request request;
   };
 
@@ -155,9 +168,15 @@ class BoundedRequestQueue {
   std::size_t mask_;
   std::size_t feature_dim_;
   std::unique_ptr<Slot[]> slots_;
-  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
-  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
-  std::atomic<std::size_t> high_water_{0};
+  // Pairing discipline (tools/lint_atomics.py): the positions are pure
+  // claim tickets — the slot sequence numbers carry the release/acquire
+  // publication edges — and the high-water mark is a monotone CAS fold.
+  // atomics-ok: claim-ticket (slot claim; sequence release/acquire publishes)
+  alignas(64) common::interleave::Atomic<std::size_t> enqueue_pos_{0};
+  // atomics-ok: claim-ticket (slot claim; sequence release/acquire publishes)
+  alignas(64) common::interleave::Atomic<std::size_t> dequeue_pos_{0};
+  // atomics-ok: monotone-cas (telemetry watermark, raise-only)
+  common::interleave::Atomic<std::size_t> high_water_{0};
 };
 
 // ---------------------------------------------------------------------------

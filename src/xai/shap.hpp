@@ -146,6 +146,7 @@ class ShapExplainer {
   std::vector<Vector> background_;
   ml::Matrix background_matrix_;  ///< same rows, kernel-ready layout
   Config config_;
+  // atomics-ok: commutative-counter (model-eval tally; order-free add fold)
   std::atomic<std::uint64_t> evaluations_ = 0;
 
   // Lowest rank in the table: base_values() holds it across a model call,

@@ -1,0 +1,57 @@
+// Fixture for the SPINS sinks: a while-condition that retries a CAS or a
+// try_* operation is waiting on another thread (spin-cas-retry /
+// spin-try-retry), a reasoned hotpath-ok waiver suppresses the fact, and
+// a for(;;) CAS *claim* loop - lock-free retry where losing means a peer
+// succeeded - is deliberately not a spin.
+namespace fix {
+
+struct TrySlot {
+  bool try_take(int& out) noexcept {
+    out = 0;
+    return true;
+  }
+};
+
+struct SpinCell {
+  long value = 0;
+  long load() const noexcept { return value; }
+  bool compare_exchange_weak(long& expected, long desired) noexcept {
+    expected = value;
+    value = desired;
+    return true;
+  }
+};
+
+void raw_spin(TrySlot& slot) {
+  int out = 0;
+  while (!slot.try_take(out)) {
+  }
+}
+
+void raw_cas_spin(SpinCell& cell, long target) {
+  long cur = cell.load();
+  while (!cell.compare_exchange_weak(cur, target)) {
+  }
+}
+
+void waived_monotone_max(SpinCell& cell, long seen) {
+  long cur = cell.load();
+  // hotpath-ok: bounded monotone CAS - every retry means another writer
+  // already raised the watermark past us
+  while (!cell.compare_exchange_weak(cur, seen)) {
+    if (cur >= seen) {
+      return;
+    }
+  }
+}
+
+long claim_loop(SpinCell& cell) {
+  long cur = cell.load();
+  for (;;) {
+    if (cell.compare_exchange_weak(cur, cur + 1)) {
+      return cur;
+    }
+  }
+}
+
+}  // namespace fix

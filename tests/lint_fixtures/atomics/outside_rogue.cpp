@@ -1,0 +1,7 @@
+// Files named outside_* run off-allowlist in the fixture harness: any
+// atomic machinery here is an atomic-outside-allowlist finding.
+namespace fix {
+
+std::atomic<int> rogue{0};
+
+}  // namespace fix

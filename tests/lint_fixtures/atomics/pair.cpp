@@ -1,0 +1,13 @@
+// The acquire half of pair.hpp's publication protocol, plus a forwarded
+// memory_order parameter (explicit by construction, no finding).
+namespace fix {
+
+int consume(Publisher& p) {
+  return p.ready_.load(std::memory_order_acquire);
+}
+
+void forward(std::atomic<int>& cell, int v, std::memory_order order) {
+  cell.store(v, order);
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Fixture for the cross-TU pairing table: ready_ is release-stored here
+// and acquire-loaded in pair.cpp, so the pair only checks out when both
+// translation units land in the same variable table. hits_ is a
+// relaxed-only counter with a reasoned declaration marker; bare_ is the
+// same shape WITHOUT a marker and must produce atomic-relaxed-unreasoned.
+namespace fix {
+
+struct Publisher {
+  std::atomic<int> ready_{0};
+  // atomics-ok: commutative-counter (fixture tally; order-free add fold)
+  std::atomic<long> hits_{0};
+  std::atomic<long> bare_{0};
+
+  void publish() { ready_.store(1, std::memory_order_release); }
+  void hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void touch() { bare_.fetch_add(1, std::memory_order_relaxed); }
+};
+
+}  // namespace fix

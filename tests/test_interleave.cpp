@@ -1,0 +1,556 @@
+// Interleaving model-checker suites (DESIGN.md §14): exhaustive
+// schedule enumeration over the lock-free core instead of tsan's
+// sampled stress. Each suite drives common/interleave's cooperative
+// explorer over a small concurrent scenario and asserts its invariant
+// in EVERY schedule the DFS reaches:
+//
+//   - BoundedRequestQueue 2x2 producers/consumers: exactly-once
+//     delivery, no lost or duplicated slots, FIFO per producer;
+//   - a deliberately store-order-buggy queue the explorer MUST catch
+//     (the model-check analogue of the lints' --prove-detection);
+//   - contracts::SingleThreadScope: second-thread entry detection and
+//     the best-effort window the acquire/fetch_add protocol leaves;
+//   - telemetry relaxed folds: counters/histograms/spans exact under
+//     every interleaving of concurrent recorders;
+//   - CircuitBreaker open/half-open probe races at call granularity.
+//
+// Granularity depends on the build flavor: under EXPLORA_MODEL_CHECK
+// the interleave::Atomic shim yields before every atomic access, so
+// schedules cut between the individual loads/stores/CAS inside an
+// operation; in the default build only explicit checkpoint() calls
+// yield, so whole operations are atomic steps. The suites run (and
+// must pass) in both flavors; the >= 10k exhaustive-enumeration
+// acceptance bound applies to the instrumented flavor.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/interleave.hpp"
+#include "common/telemetry.hpp"
+#include "xai/serving.hpp"
+
+namespace explora {
+namespace {
+
+namespace interleave = common::interleave;
+using interleave::Options;
+using interleave::Result;
+using interleave::ThreadFn;
+using xai::serving::BoundedRequestQueue;
+using xai::serving::BreakerConfig;
+using xai::serving::CircuitBreaker;
+using xai::serving::Request;
+
+// ---------------------------------------------------------------------------
+// BoundedRequestQueue: 2 producers x 2 consumers, exactly-once delivery
+// ---------------------------------------------------------------------------
+
+struct QueueScenario {
+  static constexpr std::size_t kProducers = 2;
+  static constexpr std::size_t kConsumers = 2;
+  static constexpr std::size_t kPerProducer = 2;
+  static constexpr std::size_t kAttempts = 4;
+
+  // Capacity holds every pushed item, so try_push never reports full and
+  // exactly-once is checkable without producer retry loops.
+  BoundedRequestQueue queue{kProducers * kPerProducer, 1};
+  // One pop-order stream per consumer plus one for the final drain.
+  std::array<std::vector<std::uint64_t>, kConsumers + 1> streams;
+  // How many items the scenario's bodies actually push (tests that spawn
+  // fewer than kProducers producers lower this).
+  std::size_t expected_total = kProducers * kPerProducer;
+
+  void reset() {
+    for (auto& stream : streams) {
+      stream.clear();
+    }
+  }
+
+  void produce(std::size_t p) {
+    std::array<double, 1> x{};
+    for (std::size_t i = 0; i < kPerProducer; ++i) {
+      const std::uint64_t id = (p + 1) * 100 + i + 1;
+      x[0] = static_cast<double>(id);
+      interleave::checkpoint();
+      EXPLORA_INTERLEAVE_CHECK(
+          queue.try_push(id, 0, {}, 0, 1000, x),
+          "try_push reported full with free capacity");
+    }
+  }
+
+  void consume(std::size_t c) {
+    Request out;
+    out.x.resize(1);
+    for (std::size_t i = 0; i < kAttempts; ++i) {
+      interleave::checkpoint();
+      if (queue.try_pop(out)) {
+        EXPLORA_INTERLEAVE_CHECK(
+            out.x[0] == static_cast<double>(out.id),
+            "popped payload does not match its id (torn slot)");
+        streams[c].push_back(out.id);
+      }
+    }
+  }
+
+  void check() {
+    // Drain what the bounded consumers left behind.
+    Request out;
+    out.x.resize(1);
+    while (queue.try_pop(out)) {
+      streams[kConsumers].push_back(out.id);
+    }
+    EXPLORA_INTERLEAVE_CHECK(queue.depth() == 0, "queue not empty after drain");
+
+    std::set<std::uint64_t> seen;
+    std::size_t total = 0;
+    for (const auto& stream : streams) {
+      total += stream.size();
+      for (const std::uint64_t id : stream) {
+        EXPLORA_INTERLEAVE_CHECK(seen.insert(id).second,
+                                 "duplicate delivery of id " +
+                                     std::to_string(id));
+      }
+      // FIFO per producer: within any single pop stream, one producer's
+      // ids must appear in push order (the ring is globally FIFO).
+      for (std::size_t p = 0; p < kProducers; ++p) {
+        std::uint64_t last = 0;
+        for (const std::uint64_t id : stream) {
+          if (id / 100 == p + 1) {
+            EXPLORA_INTERLEAVE_CHECK(id > last,
+                                     "per-producer FIFO violated");
+            last = id;
+          }
+        }
+      }
+    }
+    EXPLORA_INTERLEAVE_CHECK(total == expected_total,
+                             "lost deliveries: got " + std::to_string(total));
+  }
+};
+
+TEST(InterleaveQueue, ExactlyOnceDeliveryInEverySchedule) {
+  QueueScenario scenario;
+  std::vector<ThreadFn> bodies;
+  for (std::size_t p = 0; p < QueueScenario::kProducers; ++p) {
+    bodies.push_back([&scenario, p] { scenario.produce(p); });
+  }
+  for (std::size_t c = 0; c < QueueScenario::kConsumers; ++c) {
+    bodies.push_back([&scenario, c] { scenario.consume(c); });
+  }
+
+  Options options;
+  options.preemption_bound = 2;
+  options.max_schedules = 2'000'000;
+  const Result result = interleave::explore(
+      bodies, options, [&scenario] { scenario.reset(); },
+      [&scenario] { scenario.check(); });
+
+  EXPECT_TRUE(result.exhausted)
+      << "exploration did not exhaust the bounded schedule space";
+  EXPECT_FALSE(result.failed) << result.failure;
+  if (interleave::kInstrumentedAtomics) {
+    // Acceptance bound: the instrumented flavor cuts schedules between
+    // individual atomic accesses, and the 2x2 case must enumerate at
+    // least 10k distinct ones with exactly-once holding in all.
+    EXPECT_GE(result.schedules, 10000u);
+  } else {
+    EXPECT_GE(result.schedules, 100u);
+  }
+  RecordProperty("schedules", static_cast<int>(result.schedules));
+}
+
+TEST(InterleaveQueue, SeedRotatesOrderButNotTheExploredSet) {
+  // Same bounds, different seeds: the DFS must visit the same number of
+  // schedules (the set is seed-independent; only the visit order moves).
+  std::uint64_t counts[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    QueueScenario scenario;
+    scenario.expected_total = QueueScenario::kPerProducer;
+    std::vector<ThreadFn> bodies;
+    bodies.push_back([&scenario] { scenario.produce(0); });
+    bodies.push_back([&scenario] { scenario.consume(0); });
+    Options options;
+    options.preemption_bound = 1;
+    options.seed = run == 0 ? 7 : 1234567;
+    const Result result = interleave::explore(
+        bodies, options, [&scenario] { scenario.reset(); },
+        [&scenario] { scenario.check(); });
+    ASSERT_TRUE(result.exhausted);
+    ASSERT_FALSE(result.failed) << result.failure;
+    counts[run] = result.schedules;
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded store-order bug: the explorer must catch it
+// ---------------------------------------------------------------------------
+
+// A publish protocol with the two stores deliberately swapped: the
+// sequence flag is released BEFORE the payload write it is supposed to
+// publish. The checkpoint between them exists in both build flavors, so
+// the explorer must find the schedule where a consumer observes the
+// flag but reads the stale payload.
+struct BuggyPublisher {
+  interleave::Atomic<int> flag{0};
+  int payload = 0;
+
+  void reset() {
+    flag.store(0, std::memory_order_relaxed);
+    payload = 0;
+  }
+  void publish_buggy() {
+    flag.store(1, std::memory_order_release);  // bug: flag before payload
+    interleave::checkpoint();
+    payload = 42;
+  }
+  void publish_fixed() {
+    payload = 42;
+    interleave::checkpoint();
+    flag.store(1, std::memory_order_release);
+  }
+  void consume() {
+    interleave::checkpoint();
+    if (flag.load(std::memory_order_acquire) == 1) {
+      EXPLORA_INTERLEAVE_CHECK(payload == 42,
+                               "consumer observed the flag but a stale "
+                               "payload (store-order bug)");
+    }
+  }
+};
+
+TEST(InterleaveProveDetection, SeededStoreOrderBugIsCaught) {
+  BuggyPublisher shared;
+  const Result result = interleave::explore(
+      {[&shared] { shared.publish_buggy(); },
+       [&shared] { shared.consume(); }},
+      Options{}, [&shared] { shared.reset(); }, nullptr);
+  ASSERT_TRUE(result.failed)
+      << "explorer exhausted " << result.schedules
+      << " schedules without catching the seeded store-order bug";
+  EXPECT_NE(result.failure.find("store-order bug"), std::string::npos)
+      << result.failure;
+}
+
+TEST(InterleaveProveDetection, FixedOrderingSurvivesEverySchedule) {
+  BuggyPublisher shared;
+  const Result result = interleave::explore(
+      {[&shared] { shared.publish_fixed(); },
+       [&shared] { shared.consume(); }},
+      Options{}, [&shared] { shared.reset(); }, nullptr);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.failed) << result.failure;
+}
+
+// ---------------------------------------------------------------------------
+// contracts::SingleThreadScope
+// ---------------------------------------------------------------------------
+
+struct ScopeViolation {};
+
+[[noreturn]] void throwing_scope_handler(const contracts::ContractViolation&) {
+  throw ScopeViolation{};
+}
+
+TEST(InterleaveScope, SecondThreadEnterFiresInEverySchedule) {
+  contracts::ScopedContractHandler guard(&throwing_scope_handler);
+  contracts::SingleThreadScope scope;
+  scope.enter("holder");  // this (coordinator) thread owns the scope
+
+  std::array<bool, 2> fired{};
+  auto body = [&scope, &fired](std::size_t i) {
+    bool caught = false;
+    try {
+      scope.enter("second-thread probe");
+    } catch (const ScopeViolation&) {
+      caught = true;
+    }
+    fired[i] = caught;
+    EXPLORA_INTERLEAVE_CHECK(caught,
+                             "enter() from a second thread while another "
+                             "thread's scope is active must fire");
+  };
+  const Result result = interleave::explore(
+      {[&body] { body(0); }, [&body] { body(1); }}, Options{},
+      [&fired] { fired.fill(false); }, nullptr);
+  scope.exit();
+
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.failed) << result.failure;
+  EXPECT_EQ(scope.active(), 1 - 1);  // only the coordinator's enter/exit pair
+}
+
+TEST(InterleaveScope, ConcurrentEntersAreBestEffort) {
+  // Two threads race enter() on an idle scope, each holding it across a
+  // checkpoint. In every schedule the scope balances back to zero and at
+  // most one side fires. The interesting quantity is the *overlap miss*:
+  // a schedule where both racers sit inside the scope (active() == 2)
+  // with neither fired. That needs a preemption between enter()'s
+  // acquire-load check and its fetch_add — a cut only the instrumented
+  // flavor can make, which is exactly why the detector is documented
+  // best-effort and why the default flavor must never see one.
+  contracts::ScopedContractHandler guard(&throwing_scope_handler);
+  std::optional<contracts::SingleThreadScope> scope;
+  std::array<bool, 2> fired{};
+  std::array<bool, 2> overlapped{};
+
+  auto body = [&scope, &fired, &overlapped](std::size_t i) {
+    bool caught = false;
+    try {
+      scope->enter("racer");
+    } catch (const ScopeViolation&) {
+      caught = true;
+    }
+    fired[i] = caught;
+    if (!caught) {
+      interleave::checkpoint();
+      overlapped[i] = scope->active() == 2;
+      interleave::checkpoint();
+      scope->exit();
+    }
+  };
+
+  std::uint64_t schedules_with_detection = 0;
+  std::uint64_t schedules_overlap_missed = 0;
+  const Result result = interleave::explore(
+      {[&body] { body(0); }, [&body] { body(1); }}, Options{},
+      [&scope, &fired, &overlapped] {
+        scope.emplace();
+        fired.fill(false);
+        overlapped.fill(false);
+      },
+      [&scope, &fired, &overlapped, &schedules_with_detection,
+       &schedules_overlap_missed] {
+        EXPLORA_INTERLEAVE_CHECK(scope->active() == 0,
+                                 "scope did not balance back to zero");
+        EXPLORA_INTERLEAVE_CHECK(!(fired[0] && fired[1]),
+                                 "both racers cannot fire: one of them "
+                                 "was first and owned the scope");
+        if (fired[0] || fired[1]) {
+          ++schedules_with_detection;
+        } else if (overlapped[0] || overlapped[1]) {
+          ++schedules_overlap_missed;
+        }
+      });
+
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.failed) << result.failure;
+  EXPECT_GT(schedules_with_detection, 0u);
+  if (interleave::kInstrumentedAtomics) {
+    EXPECT_GT(schedules_overlap_missed, 0u)
+        << "instrumented exploration should expose the best-effort window";
+  } else {
+    EXPECT_EQ(schedules_overlap_missed, 0u)
+        << "at operation granularity enter() is atomic, so one racer "
+           "always sees the other inside the scope";
+  }
+}
+
+TEST(InterleaveScope, NestedEntersOnOneVirtualThreadAreFine) {
+  contracts::ScopedContractHandler guard(&throwing_scope_handler);
+  std::optional<contracts::SingleThreadScope> scope;
+  const Result result = interleave::explore(
+      {[&scope] {
+        scope->enter("outer");
+        scope->enter("inner");
+        scope->exit();
+        scope->exit();
+      }},
+      Options{}, [&scope] { scope.emplace(); },
+      [&scope] {
+        EXPLORA_INTERLEAVE_CHECK(scope->active() == 0, "unbalanced scope");
+      });
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.failed) << result.failure;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry relaxed folds
+// ---------------------------------------------------------------------------
+
+TEST(InterleaveTelemetry, RelaxedFoldsAreExactInEverySchedule) {
+  const std::array<std::int64_t, 2> bounds{10, 100};
+  std::optional<telemetry::Counter> counter;
+  std::optional<telemetry::Histogram> histogram;
+  std::optional<telemetry::SpanStat> span;
+
+  // Distinct values per thread make min/max/sum/bucket placement all
+  // schedule-sensitive if any fold were lost or doubled.
+  auto body = [&](std::int64_t value) {
+    interleave::checkpoint();
+    counter->add(1);
+    interleave::checkpoint();
+    histogram->observe(value);
+    interleave::checkpoint();
+    span->record(value * 2);
+  };
+
+  Options options;
+  options.preemption_bound = 2;
+  const Result result = interleave::explore(
+      {[&body] { body(5); }, [&body] { body(500); }}, options,
+      [&] {
+        counter.emplace();
+        histogram.emplace(std::span<const std::int64_t>(bounds));
+        span.emplace();
+      },
+      [&] {
+        EXPLORA_INTERLEAVE_CHECK(counter->value() == 2, "counter lost an add");
+        EXPLORA_INTERLEAVE_CHECK(histogram->count() == 2,
+                                 "histogram lost an observation");
+        EXPLORA_INTERLEAVE_CHECK(histogram->sum() == 505, "histogram sum off");
+        EXPLORA_INTERLEAVE_CHECK(histogram->min() == 5, "histogram min off");
+        EXPLORA_INTERLEAVE_CHECK(histogram->max() == 500, "histogram max off");
+        EXPLORA_INTERLEAVE_CHECK(histogram->bucket_count(0) == 1 &&
+                                     histogram->bucket_count(1) == 0 &&
+                                     histogram->bucket_count(2) == 1,
+                                 "histogram bucket placement off");
+        EXPLORA_INTERLEAVE_CHECK(span->count() == 2, "span lost a record");
+        EXPLORA_INTERLEAVE_CHECK(span->total() == 1010, "span total off");
+        EXPLORA_INTERLEAVE_CHECK(span->min() == 10 && span->max() == 1000,
+                                 "span min/max off");
+      });
+
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.failed) << result.failure;
+  RecordProperty("schedules", static_cast<int>(result.schedules));
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker probe races (call-granularity interleaving)
+// ---------------------------------------------------------------------------
+
+TEST(InterleaveBreaker, OpenHalfOpenProbeRacesKeepInvariants) {
+  // The breaker is documented externally-synchronized; the model checks
+  // its state machine under every ORDERING of whole calls from two
+  // logical callers (a failing eval path and a tick/probe path) — the
+  // checkpoint() before each call makes call boundaries the schedule
+  // points in both build flavors.
+  BreakerConfig config;
+  config.failure_threshold = 2;
+  config.open_ticks = 2;
+  config.successes_to_close = 1;
+
+  std::optional<CircuitBreaker> breaker;
+  auto invariants = [&breaker] {
+    EXPLORA_INTERLEAVE_CHECK(
+        breaker->allow_eval() ==
+            (breaker->state() != CircuitBreaker::State::kOpen),
+        "allow_eval disagrees with state");
+    EXPLORA_INTERLEAVE_CHECK(breaker->trips() <= 1, "breaker double-tripped");
+    EXPLORA_INTERLEAVE_CHECK(breaker->consecutive_failures() >= 0 &&
+                                 breaker->consecutive_failures() <= 2,
+                             "failure streak out of range");
+  };
+
+  std::map<CircuitBreaker::State, std::uint64_t> final_states;
+  bool saw_trip = false;
+  bool saw_no_trip = false;
+  const Result result = interleave::explore(
+      {[&breaker, &invariants] {
+         interleave::checkpoint();
+         breaker->record_failure(1);
+         invariants();
+         interleave::checkpoint();
+         breaker->record_failure(2);
+         invariants();
+       },
+       [&breaker, &invariants] {
+         interleave::checkpoint();
+         breaker->on_tick(5);
+         invariants();
+         interleave::checkpoint();
+         breaker->record_success(6);
+         invariants();
+       }},
+      Options{}, [&breaker, &config] { breaker.emplace(config); },
+      [&] {
+        invariants();
+        if (breaker->trips() == 0) {
+          // A success interleaved between the two failures: the streak
+          // reset means the breaker must still be closed.
+          EXPLORA_INTERLEAVE_CHECK(
+              breaker->state() == CircuitBreaker::State::kClosed,
+              "untripped breaker left the closed state");
+          saw_no_trip = true;
+        } else {
+          saw_trip = true;
+        }
+        ++final_states[breaker->state()];
+      });
+
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.failed) << result.failure;
+  // The probe race is real: depending on where the tick and the probe
+  // success land relative to the trip, the run ends closed (probe
+  // recovered it) or open (trip happened after the probe window).
+  EXPECT_TRUE(saw_trip);
+  EXPECT_TRUE(saw_no_trip);
+  EXPECT_GE(final_states.size(), 2u);
+  EXPECT_GT(final_states[CircuitBreaker::State::kClosed], 0u);
+  EXPECT_GT(final_states[CircuitBreaker::State::kOpen], 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Explorer mechanics
+// ---------------------------------------------------------------------------
+
+TEST(InterleaveExplorer, StepBoundTurnsRunawayRetryIntoFailure) {
+  // A retry loop spinning on a value nobody publishes, far past the
+  // schedule's step budget. (The loop is bounded rather than infinite
+  // because bodies must stay drainable — a truly unbounded body is a
+  // contract violation the watchdog turns into an abort, not a result.)
+  interleave::Atomic<int> never_set{0};
+  Options options;
+  options.max_steps = 200;
+  const Result result = interleave::explore(
+      {[&never_set] {
+        for (int i = 0; i < 3000; ++i) {
+          if (never_set.load(std::memory_order_acquire) != 0) {
+            break;
+          }
+          interleave::checkpoint();
+        }
+      }},
+      options, nullptr, nullptr);
+  ASSERT_TRUE(result.failed);
+  EXPECT_NE(result.failure.find("max_steps"), std::string::npos)
+      << result.failure;
+}
+
+TEST(InterleaveExplorer, SingleBodyIsOneSchedule) {
+  int runs = 0;
+  const Result result = interleave::explore(
+      {[&runs] { ++runs; }}, Options{}, nullptr, nullptr);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.schedules, 1u);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(InterleaveExplorer, SameSeedIsDeterministic) {
+  auto run_once = [] {
+    BuggyPublisher shared;
+    Options options;
+    options.seed = 42;
+    return interleave::explore({[&shared] { shared.publish_buggy(); },
+                                [&shared] { shared.consume(); }},
+                               options, [&shared] { shared.reset(); },
+                               nullptr);
+  };
+  const Result first = run_once();
+  const Result second = run_once();
+  ASSERT_TRUE(first.failed);
+  EXPECT_EQ(first.schedules, second.schedules);
+  EXPECT_EQ(first.failure, second.failure);
+}
+
+}  // namespace
+}  // namespace explora

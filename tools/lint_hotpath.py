@@ -72,11 +72,14 @@ INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 # Part A configuration: facts, tiers and sink tables.
 
 ALLOCATES, LOCKS, BLOCKS, THROWS = "ALLOCATES", "LOCKS", "BLOCKS", "THROWS"
+SPINS = "SPINS"
 
-#: Facts an annotated function must not reach.
+#: Facts an annotated function must not reach. SPINS (an atomic retry
+#: loop whose exit condition another thread must establish) is banned on
+#: both tiers: a spin is a block with worse cache behavior.
 FORBIDDEN = {
-    "realtime": {ALLOCATES, LOCKS, BLOCKS, THROWS},
-    "nonblocking": {LOCKS, BLOCKS},
+    "realtime": {ALLOCATES, LOCKS, BLOCKS, THROWS, SPINS},
+    "nonblocking": {LOCKS, BLOCKS, SPINS},
 }
 
 #: What calling an annotated function contributes to the caller's facts:
@@ -126,6 +129,18 @@ SINKS: list[tuple[str, str, re.Pattern[str]]] = [
                 r"|\b(?:fopen|fclose|fprintf|printf|fputs|puts|fwrite"
                 r"|fread|fgets|fflush|system|getchar)\s*\(")),
     (THROWS, "throw", re.compile(r"\bthrow\b")),
+    # Atomic spin loops: a `while (...)` whose condition retries a CAS or
+    # a try_* operation is waiting on ANOTHER thread to make progress -
+    # unbounded occupancy on a hot path. `for (;;)` CAS claim loops are
+    # deliberately not flagged: a lock-free retry that loses only when a
+    # peer succeeds is system-wide progress, not waiting. Loops that spin
+    # by design (stress drivers, bounded monotone folds) carry reasoned
+    # `// hotpath-ok:` waivers.
+    (SPINS, "spin-cas-retry",
+     re.compile(r"while\s*\([^;{}]*?\bcompare_exchange_(?:weak|strong)\b")),
+    (SPINS, "spin-try-retry",
+     re.compile(r"while\s*\(\s*![^;{}]*?\btry_(?:push|pop|steal|take|lock)"
+                r"\w*\s*\(")),
 ]
 
 #: Contract macros compile out below their check level; their failure
@@ -752,6 +767,10 @@ EXPLORA_NONBLOCKING void stage() {
 }
 EXPLORA_REALTIME void hot_io() { printf("x"); }
 EXPLORA_REALTIME void hot_throw(int v) { if (v < 0) throw v; }
+EXPLORA_REALTIME void hot_spin(Queue& q, Item item) {
+  while (!q.try_push(item)) {
+  }
+}
 EXPLORA_REALTIME void reasonless(std::vector<int>& out) {
   out.push_back(1);  // hotpath-ok:
 }
@@ -773,6 +792,14 @@ EXPLORA_NONBLOCKING std::vector<int> staging(std::size_t n) {
 }
 EXPLORA_REALTIME double helper_rt(double x) { return x * 2.0; }
 EXPLORA_REALTIME double fast(double x) { return helper_rt(x); }
+EXPLORA_NONBLOCKING void raise_max(Cell& cell, long seen) {
+  long cur = cell.load();
+  // hotpath-ok: bounded monotone CAS - every retry means another writer
+  // already raised the value past us
+  while (!cell.compare_exchange_weak(cur, seen)) {
+    if (cur >= seen) return;
+  }
+}
 struct Widget {
   EXPLORA_REALTIME int method(int v) const { return free_fn(v); }
 };
@@ -802,8 +829,8 @@ def self_test() -> int:
     bad_rules = sorted(rule for _, _, rule, _ in bad_rt)
     ok = bad_rules == ["nonblocking-locks", "realtime-allocates",
                        "realtime-allocates", "realtime-allocates",
-                       "realtime-blocks", "realtime-throws",
-                       "waiver-missing-reason"]
+                       "realtime-blocks", "realtime-spins",
+                       "realtime-throws", "waiver-missing-reason"]
     # The two-hop chain must be spelled out in the finding text.
     chain = [s for _, _, r, s in bad_rt
              if r == "realtime-allocates" and "hot_chain" in s]
@@ -813,7 +840,7 @@ def self_test() -> int:
     ok = ok and by_name["app::Widget::method"].annotation == "realtime"
     ok = ok and by_name["app::staging"].facts == {ALLOCATES}
     ok = ok and not good_rt
-    ok = ok and len(good_waivers) == 1
+    ok = ok and len(good_waivers) == 2
     ok = ok and sorted(r for _, _, r, _ in bad_layer) == [
         "layer-back-edge", "layer-unknown-module"]
     ok = ok and not good_layer
